@@ -1,0 +1,47 @@
+"""Ablation: explicit batching vs naive (implicit-style) aggregation.
+
+The paper could only compare against implicit batching subjectively (no
+public implementation existed, §1).  With a concrete naive aggregator —
+value calls batch, remote returns force materialization — the comparison
+becomes measurable: naive matches BRMI on value-only workloads and
+degenerates toward RMI when calls chase remote references.
+"""
+
+from repro.baselines import traverse_naive
+from repro.bench import run_baseline_comparison
+from repro.bench.harness import BenchEnv
+from repro.net.conditions import LAN
+
+
+def test_ablation_baseline_noop(benchmark, record_experiment):
+    experiment = record_experiment(run_baseline_comparison(workload="noop"))
+    naive = experiment.series_named("naive")
+    brmi = experiment.series_named("BRMI")
+    rmi = experiment.series_named("RMI")
+    assert naive.at(5) < rmi.at(5)
+    assert naive.at(5) < 1.5 * brmi.at(5), "value-only: naive ≈ BRMI"
+
+    env = BenchEnv(LAN)
+    stub = env.lookup("list")
+    try:
+        benchmark(traverse_naive, stub, 5)
+    finally:
+        env.close()
+
+
+def test_ablation_baseline_list(benchmark, record_experiment):
+    experiment = record_experiment(run_baseline_comparison(workload="list"))
+    naive = experiment.series_named("naive")
+    brmi = experiment.series_named("BRMI")
+    rmi = experiment.series_named("RMI")
+    assert naive.at(5) > 3 * brmi.at(5), "reference-chasing: naive ≈ RMI"
+    assert naive.at(5) > 0.5 * rmi.at(5)
+
+    env = BenchEnv(LAN)
+    stub = env.lookup("noop")
+    try:
+        from repro.baselines import run_noop_naive
+
+        benchmark(run_noop_naive, stub, 5)
+    finally:
+        env.close()

@@ -1,0 +1,30 @@
+"""Ablation: isolate the value of remote-reference identity (§4.4).
+
+Scales the middleware's per-request CPU cost: RMI's simulation time
+scales with it (every balance() re-enters the middleware as a loopback
+call); BRMI's barely moves (balance() is a plain local call).
+"""
+
+from repro.apps import run_simulation_brmi
+from repro.bench import run_ablation_identity
+from repro.bench.harness import BenchEnv
+from repro.net.conditions import LAN
+
+
+def test_ablation_identity(benchmark, record_experiment):
+    experiment = record_experiment(run_ablation_identity())
+
+    rmi = experiment.series_named("RMI")
+    brmi = experiment.series_named("BRMI")
+    rmi_growth = rmi.at(4.0) - rmi.at(0.0)
+    brmi_growth = brmi.at(4.0) - brmi.at(0.0)
+    assert rmi_growth > 2 * brmi_growth
+
+    env = BenchEnv(LAN)
+    stub = env.fresh_simulation("ablation-sim")
+    try:
+        benchmark.pedantic(
+            run_simulation_brmi, args=(stub, 20, 5), rounds=10, iterations=1
+        )
+    finally:
+        env.close()

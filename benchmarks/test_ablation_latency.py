@@ -1,0 +1,29 @@
+"""Ablation: BRMI's advantage as a function of link latency.
+
+Batching trades a per-batch CPU overhead for round trips, so the gap
+over RMI must widen monotonically as latency grows (the 'latency lags
+bandwidth' motivation, paper §1).
+"""
+
+from repro.apps import run_noop_brmi
+from repro.bench import run_ablation_latency
+from repro.bench.harness import BenchEnv
+from repro.net.conditions import LAN, scaled
+
+
+def test_ablation_latency(benchmark, record_experiment):
+    experiment = record_experiment(run_ablation_latency())
+
+    rmi = experiment.series_named("RMI")
+    brmi = experiment.series_named("BRMI")
+    gaps = [rmi.at(x) - brmi.at(x) for x in rmi.xs()]
+    assert gaps == sorted(gaps), "gap must widen with latency"
+    # At 8x LAN latency, batching 5 calls must win by > 3x.
+    assert rmi.at(8.0) > 3 * brmi.at(8.0)
+
+    env = BenchEnv(scaled(LAN, latency_factor=8.0))
+    stub = env.lookup("noop")
+    try:
+        benchmark(run_noop_brmi, stub, 5)
+    finally:
+        env.close()

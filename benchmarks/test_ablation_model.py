@@ -1,0 +1,25 @@
+"""Ablation: analytic model vs simulation (Detmold/Oudshoorn extension).
+
+The closed-form cost model, fed the observed byte profile, must track
+the simulated no-op benchmark closely and agree on the crossover point.
+"""
+
+import pytest
+
+from repro.bench import run_model_comparison
+from repro.model.analytic import crossover_calls
+from repro.net.conditions import DEFAULT_HOSTS, LAN
+
+
+def test_ablation_model(benchmark, record_experiment):
+    experiment = record_experiment(run_model_comparison())
+
+    sim_rmi = experiment.series_named("simulated RMI")
+    model_rmi = experiment.series_named("model RMI")
+    sim_brmi = experiment.series_named("simulated BRMI")
+    model_brmi = experiment.series_named("model BRMI")
+    for x in sim_rmi.xs():
+        assert model_rmi.at(x) == pytest.approx(sim_rmi.at(x), rel=0.15)
+        assert model_brmi.at(x) == pytest.approx(sim_brmi.at(x), rel=0.20)
+
+    benchmark(crossover_calls, LAN, DEFAULT_HOSTS)

@@ -1,0 +1,29 @@
+"""Figure 5: no-op micro-benchmark, Config 1 (1 Gbps LAN).
+
+Paper result: RMI time grows linearly with the number of calls while
+BRMI stays almost constant; RMI wins when the batch is smaller than two.
+"""
+
+from conftest import slope
+
+from repro.apps import run_noop_brmi
+from repro.bench import run_figure
+from repro.bench.harness import BenchEnv
+from repro.net.conditions import LAN
+
+
+def test_fig05_noop_lan(benchmark, record_experiment):
+    experiment = record_experiment(run_figure("fig05"))
+
+    rmi = experiment.series_named("RMI")
+    brmi = experiment.series_named("BRMI")
+    assert slope(rmi) > 5 * slope(brmi), "RMI must grow, BRMI stay flat"
+    assert rmi.at(1) < brmi.at(1), "RMI wins single calls (crossover >= 2)"
+    assert rmi.at(5) > 1.5 * brmi.at(5), "BRMI wins clearly at 5 calls"
+
+    env = BenchEnv(LAN)
+    stub = env.lookup("noop")
+    try:
+        benchmark(run_noop_brmi, stub, 5)
+    finally:
+        env.close()

@@ -1,0 +1,31 @@
+"""Figure 6: no-op micro-benchmark, Config 2 (54 Mbps wireless).
+
+Paper result: same shapes as Figure 5, with the BRMI advantage amplified
+by the higher link latency.
+"""
+
+from conftest import slope
+
+from repro.apps import run_noop_brmi
+from repro.bench import run_figure
+from repro.bench.harness import BenchEnv
+from repro.net.conditions import WIRELESS
+
+
+def test_fig06_noop_wireless(benchmark, record_experiment):
+    experiment = record_experiment(run_figure("fig06"))
+
+    rmi = experiment.series_named("RMI")
+    brmi = experiment.series_named("BRMI")
+    assert slope(rmi) > 10 * slope(brmi)
+    assert rmi.at(5) > 3 * brmi.at(5), "wireless widens the gap"
+
+    lan = run_figure("fig05")
+    assert (rmi.at(5) / brmi.at(5)) > lan.ratio("RMI", "BRMI", 5)
+
+    env = BenchEnv(WIRELESS)
+    stub = env.lookup("noop")
+    try:
+        benchmark(run_noop_brmi, stub, 5)
+    finally:
+        env.close()

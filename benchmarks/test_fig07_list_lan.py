@@ -1,0 +1,30 @@
+"""Figure 7: linked-list traversal, Config 1 (LAN).
+
+Paper result: RMI grows linearly; BRMI stays near constant and — the
+"unexpected result" — wins even when traversing a single node, because
+the remote return value never crosses the network (§4.4).
+"""
+
+from conftest import slope
+
+from repro.apps import traverse_brmi
+from repro.bench import run_figure
+from repro.bench.harness import BenchEnv
+from repro.net.conditions import LAN
+
+
+def test_fig07_linked_list_lan(benchmark, record_experiment):
+    experiment = record_experiment(run_figure("fig07"))
+
+    rmi = experiment.series_named("RMI")
+    brmi = experiment.series_named("BRMI")
+    assert slope(rmi) > 5 * slope(brmi)
+    assert rmi.at(1) > brmi.at(1), "BRMI wins even one traversal"
+    assert rmi.at(5) > 4 * brmi.at(5)
+
+    env = BenchEnv(LAN)
+    stub = env.lookup("list")
+    try:
+        benchmark(traverse_brmi, stub, 5)
+    finally:
+        env.close()

@@ -1,0 +1,25 @@
+"""Figure 8: linked-list traversal, Config 2 (wireless)."""
+
+from conftest import slope
+
+from repro.apps import traverse_brmi
+from repro.bench import run_figure
+from repro.bench.harness import BenchEnv
+from repro.net.conditions import WIRELESS
+
+
+def test_fig08_linked_list_wireless(benchmark, record_experiment):
+    experiment = record_experiment(run_figure("fig08"))
+
+    rmi = experiment.series_named("RMI")
+    brmi = experiment.series_named("BRMI")
+    assert slope(rmi) > 10 * slope(brmi)
+    assert rmi.at(1) > brmi.at(1)
+    assert rmi.at(5) > 4 * brmi.at(5)
+
+    env = BenchEnv(WIRELESS)
+    stub = env.lookup("list")
+    try:
+        benchmark(traverse_brmi, stub, 5)
+    finally:
+        env.close()

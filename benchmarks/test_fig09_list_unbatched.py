@@ -1,0 +1,35 @@
+"""Figure 9: linked-list traversal with batches of size one (LAN).
+
+Paper result: "even without batching, BRMI consistently outperforms
+RMI" — the BRMI curve grows linearly (one flush per call) but remains
+below RMI, because remote returns stay on the server instead of being
+marshalled into stubs.
+"""
+
+from conftest import slope
+
+from repro.apps import traverse_brmi_unbatched
+from repro.bench import run_figure
+from repro.bench.harness import BenchEnv
+from repro.net.conditions import LAN
+
+
+def test_fig09_list_unbatched(benchmark, record_experiment):
+    experiment = record_experiment(
+        run_figure("fig09")
+    )
+
+    rmi = experiment.series_named("RMI")
+    brmi = experiment.series_named("BRMI")
+    # Both linear now...
+    assert slope(brmi) > 0.2 * slope(rmi)
+    # ...but BRMI under RMI at every point.
+    for x in rmi.xs():
+        assert brmi.at(x) < rmi.at(x)
+
+    env = BenchEnv(LAN)
+    stub = env.lookup("list")
+    try:
+        benchmark(traverse_brmi_unbatched, stub, 5)
+    finally:
+        env.close()

@@ -1,0 +1,30 @@
+"""Figure 10: remote simulation, Config 1 (LAN).
+
+Paper result: with the batch size pinned to one, the BRMI advantage is
+due solely to preserved remote-reference identity — the balancer's
+balance() calls are local on the server, not loopback remote calls —
+and the improvement stays consistent up to 40 steps.
+"""
+
+from repro.apps import run_simulation_brmi
+from repro.bench import run_figure
+from repro.bench.harness import BenchEnv
+from repro.net.conditions import LAN
+
+
+def test_fig10_simulation_lan(benchmark, record_experiment):
+    experiment = record_experiment(run_figure("fig10"))
+
+    xs = experiment.series_named("RMI").xs()
+    ratios = [experiment.ratio("RMI", "BRMI", x) for x in xs]
+    assert min(ratios) > 1.5, "identity preservation must pay off"
+    assert max(ratios) / min(ratios) < 1.3, "advantage stays consistent"
+
+    env = BenchEnv(LAN)
+    stub = env.fresh_simulation("bench-sim")
+    try:
+        benchmark.pedantic(
+            run_simulation_brmi, args=(stub, 10, 5), rounds=20, iterations=1
+        )
+    finally:
+        env.close()

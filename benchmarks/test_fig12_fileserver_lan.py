@@ -1,0 +1,30 @@
+"""Figure 12: remote file server macro benchmark, Config 1 (LAN).
+
+Paper setup (§5.4): 10 files totalling 100 KB, preloaded in memory;
+measure requesting and transferring n of them.  Paper result: large
+BRMI wins across all n, combining batching with identity preservation.
+"""
+
+from conftest import slope
+
+from repro.apps import fetch_files_brmi
+from repro.bench import run_figure
+from repro.bench.harness import BenchEnv
+from repro.net.conditions import LAN
+
+
+def test_fig12_fileserver_lan(benchmark, record_experiment):
+    experiment = record_experiment(run_figure("fig12"))
+
+    rmi = experiment.series_named("RMI")
+    brmi = experiment.series_named("BRMI")
+    assert slope(rmi) > 3 * slope(brmi)
+    for x in rmi.xs():
+        assert rmi.at(x) > 2 * brmi.at(x)
+
+    env = BenchEnv(LAN)
+    stub = env.lookup("fileserver")
+    try:
+        benchmark(fetch_files_brmi, stub, 10)
+    finally:
+        env.close()

@@ -1,0 +1,25 @@
+"""Figure 13: remote file server macro benchmark, Config 2 (wireless)."""
+
+from conftest import slope
+
+from repro.apps import fetch_files_brmi
+from repro.bench import run_figure
+from repro.bench.harness import BenchEnv
+from repro.net.conditions import WIRELESS
+
+
+def test_fig13_fileserver_wireless(benchmark, record_experiment):
+    experiment = record_experiment(run_figure("fig13"))
+
+    rmi = experiment.series_named("RMI")
+    brmi = experiment.series_named("BRMI")
+    assert slope(rmi) > 3 * slope(brmi)
+    for x in rmi.xs():
+        assert rmi.at(x) > 2 * brmi.at(x)
+
+    env = BenchEnv(WIRELESS)
+    stub = env.lookup("fileserver")
+    try:
+        benchmark(fetch_files_brmi, stub, 10)
+    finally:
+        env.close()

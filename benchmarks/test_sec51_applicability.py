@@ -1,0 +1,34 @@
+"""§5.1 applicability study: round trips saved per case study.
+
+The paper argues applicability by call arithmetic — e.g. the file
+listing drops from ``1 + 4·N`` remote calls to a single one.  This bench
+counts actual round trips on the client's channel and records the table.
+"""
+
+from repro.apps import Word, translate_brmi
+from repro.bench import render_applicability, run_applicability
+from repro.bench.harness import BenchEnv
+from repro.net.conditions import LAN
+
+
+def test_sec51_applicability(benchmark, results_dir):
+    counts = run_applicability()
+    table = render_applicability(counts)
+    (results_dir / "sec51-applicability.txt").write_text(table + "\n")
+    print()
+    print(table)
+
+    assert counts["file-listing"]["rmi"] == 1 + 4 * 10
+    assert counts["file-listing"]["brmi"] == 1
+    assert counts["bank"]["rmi"] == 5
+    assert counts["bank"]["brmi"] == 1
+    assert counts["translator"]["rmi"] == 4
+    assert counts["translator"]["brmi"] == 1
+
+    env = BenchEnv(LAN)
+    stub = env.lookup("translator")
+    words = [Word(w) for w in ("hello", "world", "cat", "dog")]
+    try:
+        benchmark(translate_brmi, stub, words)
+    finally:
+        env.close()

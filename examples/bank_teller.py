@@ -1,0 +1,65 @@
+"""Bank case study: exception policies without mobile code (§5.1).
+
+A whole teller session — account lookup, several purchases, credit-line
+query — runs as one batch.  A CustomPolicy makes a failed lookup BREAK
+the batch (the purchases would be meaningless) while a declined purchase
+merely CONTINUEs past.
+
+Run:  python examples/bank_teller.py
+"""
+
+from repro import LAN, RMIClient, RMIServer, SimNetwork, create_batch
+from repro.apps.bank import (
+    AccountNotFoundException,
+    CreditManagerImpl,
+    InsufficientCreditError,
+    bank_policy,
+)
+
+
+def teller_session(client, customer, purchases):
+    """One batched session; returns (credit_line, declined_purchases)."""
+    manager = create_batch(client.lookup("bank"), policy=bank_policy())
+    account = manager.find_credit_account(customer)
+    outcomes = [(amount, account.make_purchase(amount))
+                for amount in purchases]
+    credit_line = account.get_credit_line()
+    manager.flush()
+
+    declined = []
+    for amount, outcome in outcomes:
+        try:
+            outcome.get()
+        except InsufficientCreditError:
+            declined.append(amount)
+    return credit_line.get(), declined
+
+
+def main():
+    network = SimNetwork(conditions=LAN)
+    server = RMIServer(network, "sim://bank:1099").start()
+    manager = CreditManagerImpl(default_limit=1000.0)
+    server.bind("bank", manager)
+    manager.create_credit_account("alice")
+
+    client = RMIClient(network, "sim://bank:1099")
+
+    before = client.stats.requests
+    line, declined = teller_session(client, "alice", [300.0, 900.0, 200.0])
+    trips = client.stats.requests - before - 1  # minus the lookup
+    print(f"alice: credit line {line:.2f}, declined {declined}, "
+          f"{trips} round trip for 5 remote calls")
+
+    # A failed lookup breaks the batch before any purchase runs.
+    try:
+        teller_session(client, "mallory", [10.0])
+    except AccountNotFoundException as exc:
+        print(f"mallory: session aborted cleanly ({exc.args[0]!r} unknown), "
+              f"no purchase was attempted")
+
+    client.close()
+    network.close()
+
+
+if __name__ == "__main__":
+    main()

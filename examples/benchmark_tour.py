@@ -1,0 +1,51 @@
+"""Regenerate every evaluation figure of the paper and print the report.
+
+This is the harness driver behind EXPERIMENTS.md: Figures 5-13 plus the
+§5.1 applicability table and the ablations, all on the deterministic
+virtual clock (a full tour takes a few seconds of real time).
+
+Run:  python examples/benchmark_tour.py [figure-id ...]
+"""
+
+import sys
+
+from repro.bench import (
+    render_applicability,
+    render_experiment,
+    run_ablation_identity,
+    run_ablation_latency,
+    run_all_figures,
+    run_applicability,
+    run_figure,
+    run_model_comparison,
+    summarize_speedups,
+)
+
+
+def main(argv):
+    wanted = argv[1:]
+    if wanted:
+        experiments = {figure_id: run_figure(figure_id) for figure_id in wanted}
+    else:
+        experiments = run_all_figures()
+
+    for figure_id in sorted(experiments):
+        print(render_experiment(experiments[figure_id]))
+        print(summarize_speedups(experiments[figure_id]))
+        print()
+
+    if not wanted:
+        print("== sec5.1: applicability (round trips) ==")
+        print(render_applicability(run_applicability()))
+        print()
+        for experiment in (
+            run_ablation_latency(),
+            run_ablation_identity(),
+            run_model_comparison(),
+        ):
+            print(render_experiment(experiment, chart=False))
+            print()
+
+
+if __name__ == "__main__":
+    main(sys.argv)

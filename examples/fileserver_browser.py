@@ -1,0 +1,80 @@
+"""File-server case study over REAL TCP sockets.
+
+Demonstrates the full §5.1 reengineering on an actual byte stream:
+
+1. directory listing through a cursor — 1 round trip instead of 1+4·N;
+2. the §3.5 chained-cursor pattern — delete every file older than a
+   cutoff in exactly two batches;
+3. round-trip accounting from the transport's own counters.
+
+Run:  python examples/fileserver_browser.py
+"""
+
+import datetime
+
+from repro import RMIClient, RMIServer, TcpNetwork, create_batch
+from repro.apps.fileserver import make_directory
+
+
+def show_listing(client):
+    root = create_batch(client.lookup("root"))
+    cursor = root.list_files()
+    name = cursor.get_name()
+    is_dir = cursor.is_directory()
+    mtime = cursor.last_modified()
+    length = cursor.length()
+    root.flush()
+    print(f"{'name':<14}{'dir':<6}{'modified':<22}{'bytes':>8}")
+    while cursor.next():
+        stamp = datetime.datetime.fromtimestamp(
+            mtime.get(), tz=datetime.timezone.utc
+        )
+        print(
+            f"{name.get():<14}{str(is_dir.get()):<6}"
+            f"{stamp:%Y-%m-%d %H:%M:%S}   {length.get():>8}"
+        )
+
+
+def delete_older_than(client, cutoff_epoch):
+    """The paper's delete-all-old-files loop: two batches total."""
+    root = create_batch(client.lookup("root"))
+    cursor = root.list_files()
+    mtime = cursor.last_modified()
+    name = cursor.get_name()
+    root.flush_and_continue()
+    deleted = []
+    while cursor.next():
+        if mtime.get() < cutoff_epoch:
+            deleted.append(name.get())
+            cursor.delete()
+    root.flush()
+    return deleted
+
+
+def main():
+    network = TcpNetwork()
+    server = RMIServer(network, "tcp://127.0.0.1:0").start()
+    server.bind("root", make_directory(8, 64_000, base_mtime=1_230_000_000))
+    print(f"file server listening at {server.address}")
+
+    client = RMIClient(network, server.address)
+
+    before = client.stats.requests
+    show_listing(client)
+    print(f"\nlisting cost: {client.stats.requests - before - 1} round trip "
+          f"(plain RMI would need {1 + 4 * 8})")
+
+    before = client.stats.requests
+    removed = delete_older_than(client, cutoff_epoch=1_230_000_003)
+    print(
+        f"deleted {removed} in "
+        f"{client.stats.requests - before - 1} batches"
+    )
+
+    show_listing(client)
+    client.close()
+    network.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""repro — Explicit Batching for Distributed Objects (BRMI), in Python.
+
+A from-scratch reproduction of Tilevich & Cook, *Explicit Batching for
+Distributed Objects* (2009): an RMI-like distributed-object middleware
+plus the BRMI layer — explicit batches, futures, array cursors, exception
+policies, and chained batches.
+
+Quickstart::
+
+    from repro import (SimNetwork, LAN, RMIServer, RMIClient, create_batch)
+
+    net = SimNetwork(conditions=LAN)
+    server = RMIServer(net, "sim://server:1099").start()
+    server.bind("root", DirectoryImpl())
+
+    client = RMIClient(net, "sim://server:1099")
+    root = create_batch(client.lookup("root"))
+    index = root.get_file("index.html")
+    name = index.get_name()
+    size = index.get_size()
+    root.flush()                       # one round trip for all three calls
+    print(name.get(), size.get())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-figure reproductions.
+"""
+
+from repro.core import (
+    AbortPolicy,
+    BatchAbortedError,
+    BatchError,
+    BatchProxy,
+    BRMI,
+    ContinuePolicy,
+    CursorProxy,
+    CustomPolicy,
+    ExceptionAction,
+    Future,
+    FutureNotReadyError,
+    create_batch,
+    default_policy,
+    derive_batch_interfaces,
+    generate_batch_interface_source,
+)
+from repro.net import (
+    LAN,
+    LOCALHOST,
+    WIRELESS,
+    FaultInjector,
+    HostCosts,
+    NetworkConditions,
+    SimClock,
+    SimNetwork,
+    Stopwatch,
+    TcpNetwork,
+)
+from repro.rmi import (
+    CommunicationError,
+    RemoteError,
+    RemoteInterface,
+    RemoteObject,
+    RMIClient,
+    RMIServer,
+    Stub,
+)
+from repro.wire import RemoteRef, register_exception, serializable
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbortPolicy",
+    "BatchAbortedError",
+    "BatchError",
+    "BatchProxy",
+    "BRMI",
+    "CommunicationError",
+    "ContinuePolicy",
+    "create_batch",
+    "CursorProxy",
+    "CustomPolicy",
+    "default_policy",
+    "derive_batch_interfaces",
+    "ExceptionAction",
+    "FaultInjector",
+    "Future",
+    "FutureNotReadyError",
+    "generate_batch_interface_source",
+    "HostCosts",
+    "LAN",
+    "LOCALHOST",
+    "NetworkConditions",
+    "register_exception",
+    "RemoteError",
+    "RemoteInterface",
+    "RemoteObject",
+    "RemoteRef",
+    "RMIClient",
+    "RMIServer",
+    "serializable",
+    "SimClock",
+    "SimNetwork",
+    "Stopwatch",
+    "Stub",
+    "TcpNetwork",
+    "WIRELESS",
+]

@@ -1,0 +1,152 @@
+"""Credit-card bank: the paper's second case study (§5.1, after Heller).
+
+A ``CreditManager`` creates/looks up ``CreditCard`` accounts; purchases
+and credit-line queries happen on the card.  The case study's point is
+the exception policy: batching the lookup together with the purchases is
+only safe if a lookup failure *breaks* the batch — which
+:class:`~repro.core.policies.CustomPolicy` expresses without mobile code.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core import CustomPolicy, ExceptionAction, create_batch
+from repro.rmi import RemoteInterface, RemoteObject
+from repro.wire.registry import register_exception
+
+
+@register_exception
+class DuplicateAccountException(Exception):
+    """Account creation for a customer who already has one."""
+
+
+@register_exception
+class AccountNotFoundException(Exception):
+    """Lookup of a customer with no account."""
+
+
+@register_exception
+class InsufficientCreditError(Exception):
+    """A purchase exceeding the remaining credit line."""
+
+
+class CreditCard(RemoteInterface):
+    """One customer's revolving credit account."""
+
+    def get_credit_line(self) -> float:
+        """Remaining credit."""
+        ...
+
+    def make_purchase(self, amount: float) -> None:
+        """Charge the card; InsufficientCreditError if over the line."""
+        ...
+
+    def pay_balance(self, amount: float) -> float:
+        """Pay down the balance; returns the new balance."""
+        ...
+
+
+class CreditManager(RemoteInterface):
+    """Account creation and lookup."""
+
+    def create_credit_account(self, customer: str) -> CreditCard:
+        """Open an account; DuplicateAccountException if one exists."""
+        ...
+
+    def find_credit_account(self, customer: str) -> CreditCard:
+        """Find an account; AccountNotFoundException if none."""
+        ...
+
+
+class CreditCardImpl(RemoteObject, CreditCard):
+    """Server-side account with a fixed credit limit."""
+
+    def __init__(self, customer: str, limit: float = 5000.0):
+        self.customer = customer
+        self._limit = float(limit)
+        self._balance = 0.0
+        self._lock = threading.Lock()
+
+    def get_credit_line(self) -> float:
+        with self._lock:
+            return self._limit - self._balance
+
+    def make_purchase(self, amount: float) -> None:
+        if amount <= 0:
+            raise ValueError(f"purchase amount must be positive: {amount}")
+        with self._lock:
+            if self._balance + amount > self._limit:
+                raise InsufficientCreditError(self.customer, amount)
+            self._balance += amount
+
+    def pay_balance(self, amount: float) -> float:
+        if amount <= 0:
+            raise ValueError(f"payment must be positive: {amount}")
+        with self._lock:
+            self._balance = max(0.0, self._balance - amount)
+            return self._balance
+
+
+class CreditManagerImpl(RemoteObject, CreditManager):
+    """Server-side account directory."""
+
+    def __init__(self, default_limit: float = 5000.0):
+        self._accounts = {}
+        self._default_limit = default_limit
+        self._lock = threading.Lock()
+
+    def create_credit_account(self, customer: str) -> CreditCard:
+        with self._lock:
+            if customer in self._accounts:
+                raise DuplicateAccountException(customer)
+            account = CreditCardImpl(customer, self._default_limit)
+            self._accounts[customer] = account
+            return account
+
+    def find_credit_account(self, customer: str) -> CreditCard:
+        with self._lock:
+            account = self._accounts.get(customer)
+        if account is None:
+            raise AccountNotFoundException(customer)
+        return account
+
+
+def bank_policy() -> CustomPolicy:
+    """The paper's exception policy for batched banking (§5.1):
+
+    continue by default, but break the batch when the account lookup
+    fails — the purchases that follow would be meaningless.
+    """
+    policy = CustomPolicy()
+    policy.set_default_action(ExceptionAction.CONTINUE)
+    policy.set_action(
+        AccountNotFoundException,
+        ExceptionAction.BREAK,
+        method="find_credit_account",
+    )
+    policy.set_action(
+        DuplicateAccountException,
+        ExceptionAction.BREAK,
+        method="create_credit_account",
+    )
+    return policy
+
+
+def purchase_session_rmi(stub, customer: str, amounts) -> float:
+    """RMI: lookup + one round trip per purchase + credit-line query."""
+    account = stub.find_credit_account(customer)
+    for amount in amounts:
+        account.make_purchase(amount)
+    return account.get_credit_line()
+
+
+def purchase_session_brmi(stub, customer: str, amounts) -> float:
+    """BRMI: the whole session in one batch under the bank policy."""
+    manager = create_batch(stub, policy=bank_policy())
+    account = manager.find_credit_account(customer)
+    for amount in amounts:
+        account.make_purchase(amount)
+    credit_line = account.get_credit_line()
+    manager.flush()
+    return credit_line.get()

@@ -1,0 +1,341 @@
+"""Remote file server: the running example and macro benchmark.
+
+Reimplements the third-party RMI application of §5.1/§5.4 (after Pitt &
+McNiff): a hierarchical view of a remote file system.  Listing a
+directory costs ``1 + 4·N`` RMI round trips (one ``list_files`` plus
+name/is-directory/mtime/length per file); with a BRMI cursor the whole
+listing is a single round trip.
+
+The backing store is an in-memory file system so benchmark runs never
+touch the disk — the paper likewise preloads files into memory "to avoid
+disk access tainting the results" (§5.4).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.core import create_batch
+from repro.rmi import RemoteInterface, RemoteObject
+from repro.wire.registry import register_exception
+
+
+@register_exception
+class AccessDeniedError(Exception):
+    """A file refuses metadata/content access (drives the §3.3 examples)."""
+
+
+class RemoteFile(RemoteInterface):
+    """One file or directory on the remote file system."""
+
+    def get_name(self) -> str:
+        """Base name of this entry."""
+        ...
+
+    def is_directory(self) -> bool:
+        """Whether this entry is a directory."""
+        ...
+
+    def last_modified(self) -> int:
+        """Modification time (epoch seconds)."""
+        ...
+
+    def length(self) -> int:
+        """Content size in bytes (0 for directories)."""
+        ...
+
+    def read_contents(self) -> bytes:
+        """The file's bytes; AccessDeniedError if restricted."""
+        ...
+
+    def get_file(self, name: str) -> "RemoteFile":
+        """Child entry by name; FileNotFoundError if absent."""
+        ...
+
+    def list_files(self) -> List["RemoteFile"]:
+        """All children of this directory, in name order."""
+        ...
+
+    def delete(self) -> None:
+        """Remove this entry from its parent directory."""
+        ...
+
+
+class FileNode:
+    """In-memory file-system node (plain data, not remote)."""
+
+    def __init__(self, name, *, directory=False, contents=b"", mtime=0,
+                 restricted=False):
+        self.name = name
+        self.directory = directory
+        self.contents = b"" if directory else bytes(contents)
+        self.mtime = mtime
+        self.restricted = restricted
+        self.children = {} if directory else None
+        self.parent = None
+
+    def add(self, child: "FileNode") -> "FileNode":
+        if not self.directory:
+            raise NotADirectoryError(self.name)
+        if child.name in self.children:
+            raise FileExistsError(child.name)
+        child.parent = self
+        self.children[child.name] = child
+        return child
+
+    def remove(self, name: str) -> None:
+        if not self.directory or name not in self.children:
+            raise FileNotFoundError(name)
+        self.children.pop(name).parent = None
+
+
+class RemoteFileImpl(RemoteObject, RemoteFile):
+    """Remote facade over one :class:`FileNode`.
+
+    One facade per node, cached on the node, so repeated navigation hands
+    back the identical remote object (and therefore equal stubs).
+    """
+
+    def __init__(self, node: FileNode):
+        self._node = node
+        node_facade_cache[id(node)] = self
+
+    def get_name(self) -> str:
+        return self._node.name
+
+    def is_directory(self) -> bool:
+        return self._node.directory
+
+    def last_modified(self) -> int:
+        return self._node.mtime
+
+    def length(self) -> int:
+        if self._node.restricted:
+            raise AccessDeniedError(self._node.name)
+        return len(self._node.contents)
+
+    def read_contents(self) -> bytes:
+        if self._node.restricted:
+            raise AccessDeniedError(self._node.name)
+        return self._node.contents
+
+    def get_file(self, name: str) -> "RemoteFile":
+        node = self._node
+        if not node.directory:
+            raise NotADirectoryError(node.name)
+        child = node.children.get(name)
+        if child is None:
+            raise FileNotFoundError(name)
+        return _facade(child)
+
+    def list_files(self) -> List["RemoteFile"]:
+        node = self._node
+        if not node.directory:
+            raise NotADirectoryError(node.name)
+        return [_facade(node.children[name]) for name in sorted(node.children)]
+
+    def delete(self) -> None:
+        node = self._node
+        if node.parent is None:
+            raise PermissionError("cannot delete the root directory")
+        node.parent.remove(node.name)
+
+
+#: id(node) -> facade; keeps one remote object per file-system node.
+node_facade_cache: dict = {}
+
+
+def _facade(node: FileNode) -> RemoteFileImpl:
+    facade = node_facade_cache.get(id(node))
+    return facade if facade is not None else RemoteFileImpl(node)
+
+
+def make_tree(depth: int, fanout: int, files_per_dir: int = 3,
+              file_size: int = 512, *, seed: int = 11,
+              base_mtime: int = 1_230_000_000) -> RemoteFileImpl:
+    """Build a hierarchical directory tree (the §3.1 'hierarchical view').
+
+    Each directory holds *files_per_dir* regular files plus *fanout*
+    subdirectories, recursively to *depth* levels.  Deterministic for a
+    given seed.
+    """
+    if depth < 0 or fanout < 0 or files_per_dir < 0 or file_size < 0:
+        raise ValueError("tree parameters cannot be negative")
+    rng = random.Random(seed)
+    counter = [0]
+
+    def build(name, level):
+        node = FileNode(name, directory=True,
+                        mtime=base_mtime + counter[0])
+        counter[0] += 1
+        for i in range(files_per_dir):
+            node.add(
+                FileNode(
+                    f"f{i}.dat",
+                    contents=bytes(rng.getrandbits(8)
+                                   for _ in range(file_size)),
+                    mtime=base_mtime + counter[0],
+                )
+            )
+            counter[0] += 1
+        if level < depth:
+            for i in range(fanout):
+                node.add(build(f"d{i}", level + 1))
+        return node
+
+    return _facade(build("root", 0))
+
+
+def walk_tree_rmi(stub) -> list:
+    """Recursive listing over plain RMI: one call per entry attribute."""
+    entries = []
+    for child in stub.list_files():
+        path = child.get_name()
+        if child.is_directory():
+            entries.append((path, "dir", 0))
+            entries.extend(
+                (f"{path}/{sub}", kind, size)
+                for sub, kind, size in walk_tree_rmi(child)
+            )
+        else:
+            entries.append((path, "file", child.length()))
+    return entries
+
+
+def walk_tree_brmi(stub) -> list:
+    """Recursive listing: one batched round trip per directory.
+
+    Each directory's children and their metadata arrive through a single
+    cursor batch (vs ``1 + 4·N`` RMI calls); descending into a
+    subdirectory costs one ``get_file`` call to materialize its stub.
+    Nested cursors are deliberately unsupported (§3.4), so recursion is
+    the idiomatic way to batch across hierarchy levels.
+    """
+    root = create_batch(stub)
+    cursor = root.list_files()
+    name = cursor.get_name()
+    is_dir = cursor.is_directory()
+    size = cursor.length()
+    root.flush()
+    entries = []
+    subdir_names = []
+    while cursor.next():
+        if is_dir.get():
+            entries.append((name.get(), "dir", 0))
+            subdir_names.append(name.get())
+        else:
+            entries.append((name.get(), "file", size.get()))
+    for sub_name in subdir_names:
+        child = stub.get_file(sub_name)
+        position = next(
+            index for index, entry in enumerate(entries)
+            if entry == (sub_name, "dir", 0)
+        )
+        nested = [
+            (f"{sub_name}/{path}", kind, sz)
+            for path, kind, sz in walk_tree_brmi(child)
+        ]
+        entries[position + 1 : position + 1] = nested
+    return entries
+
+
+def make_directory(num_files: int, total_size: int, *, seed: int = 7,
+                   base_mtime: int = 1_230_000_000,
+                   restricted_names=()) -> RemoteFileImpl:
+    """Build the macro-benchmark directory (§5.4).
+
+    *num_files* regular files whose sizes sum to *total_size* bytes
+    (paper: 10 files, 100 KB total), with deterministic pseudo-random
+    contents.
+    """
+    if num_files < 1:
+        raise ValueError("need at least one file")
+    if total_size < num_files:
+        raise ValueError("total_size must provide at least 1 byte per file")
+    rng = random.Random(seed)
+    root = FileNode("root", directory=True, mtime=base_mtime)
+    size_each, remainder = divmod(total_size, num_files)
+    for index in range(num_files):
+        size = size_each + (1 if index < remainder else 0)
+        name = f"file{index:02d}.dat"
+        root.add(
+            FileNode(
+                name,
+                contents=bytes(rng.getrandbits(8) for _ in range(size)),
+                mtime=base_mtime + index,
+                restricted=name in restricted_names,
+            )
+        )
+    return _facade(root)
+
+
+# -- client workloads (used by tests, examples and the benches) ----------
+
+
+def list_directory_rmi(stub) -> List[tuple]:
+    """The paper's RMI listing loop: 1 + 4·N round trips."""
+    listing = []
+    for entry in stub.list_files():
+        listing.append(
+            (
+                entry.get_name(),
+                entry.is_directory(),
+                entry.last_modified(),
+                entry.length(),
+            )
+        )
+    return listing
+
+
+def list_directory_brmi(stub) -> List[tuple]:
+    """The same listing through a cursor: one round trip."""
+    root = create_batch(stub)
+    cursor = root.list_files()
+    name = cursor.get_name()
+    is_dir = cursor.is_directory()
+    mtime = cursor.last_modified()
+    size = cursor.length()
+    root.flush()
+    listing = []
+    while cursor.next():
+        listing.append((name.get(), is_dir.get(), mtime.get(), size.get()))
+    return listing
+
+
+def fetch_files_rmi(stub, count: int) -> int:
+    """Macro benchmark, RMI side: metadata plus contents of *count* files."""
+    total = 0
+    files = stub.list_files()
+    for entry in files[:count]:
+        entry.get_name()
+        entry.last_modified()
+        entry.length()
+        total += len(entry.read_contents())
+    return total
+
+
+def fetch_files_brmi(stub, count: int) -> int:
+    """Macro benchmark, BRMI side: two chained batches (§3.5).
+
+    The first batch lists the directory and bulk-reads metadata through a
+    cursor; the chained second batch requests contents for exactly the
+    first *count* elements, so only the selected files' bytes cross the
+    wire.
+    """
+    root = create_batch(stub)
+    cursor = root.list_files()
+    name = cursor.get_name()
+    mtime = cursor.last_modified()
+    size = cursor.length()
+    root.flush_and_continue()
+    content_futures = []
+    taken = 0
+    while taken < count and cursor.next():
+        name.get()
+        mtime.get()
+        size.get()
+        content_futures.append(cursor.read_contents())
+        taken += 1
+    root.flush()
+    return sum(len(future.get()) for future in content_futures)

@@ -1,0 +1,94 @@
+"""Remote linked list: the paper's traversal micro-benchmark (§5.3,
+Figures 7-9).
+
+Traversing ``n`` nodes and reading the last value costs ``n + 1`` RMI
+round trips, each of which marshals a remote stub back to the client.
+In BRMI the intermediate nodes never cross the network — ``next_node``
+returns a batch proxy backed by a server-side table slot (§4.4), so even
+unbatched (flush after every call, Figure 9) BRMI avoids the
+remote-return marshalling cost.
+
+Note: the paper's interface names this method ``next()``; that name is
+reserved for cursor iteration in the batch API, so the reproduction uses
+``next_node()``.
+"""
+
+from __future__ import annotations
+
+from repro.core import create_batch
+from repro.rmi import RemoteInterface, RemoteObject
+
+
+class RemoteList(RemoteInterface):
+    """One node of a remotely-traversable singly linked list."""
+
+    def next_node(self) -> "RemoteList":
+        """The following node; raises IndexError past the end."""
+        ...
+
+    def get_value(self) -> int:
+        """This node's payload."""
+        ...
+
+
+class RemoteListImpl(RemoteObject, RemoteList):
+    """Server-side list node."""
+
+    def __init__(self, value: int, tail: "RemoteListImpl" = None):
+        self._value = value
+        self._tail = tail
+
+    def next_node(self) -> "RemoteList":
+        if self._tail is None:
+            raise IndexError("end of list")
+        return self._tail
+
+    def get_value(self) -> int:
+        return self._value
+
+
+def build_list(values) -> RemoteListImpl:
+    """Build a server-side list; returns the head node."""
+    values = list(values)
+    if not values:
+        raise ValueError("a remote list needs at least one node")
+    head = None
+    for value in reversed(values):
+        head = RemoteListImpl(value, head)
+    return head
+
+
+def traverse_rmi(stub, hops: int) -> int:
+    """RMI: follow *hops* next-links, then read the value."""
+    node = stub
+    for _ in range(hops):
+        node = node.next_node()
+    return node.get_value()
+
+
+def traverse_brmi(stub, hops: int) -> int:
+    """BRMI: the whole traversal in one batch."""
+    batch = create_batch(stub)
+    node = batch
+    for _ in range(hops):
+        node = node.next_node()
+    value = node.get_value()
+    batch.flush()
+    return value.get()
+
+
+def traverse_brmi_unbatched(stub, hops: int) -> int:
+    """BRMI with batches of size one (Figure 9).
+
+    Every call is flushed immediately via a chained batch, so there is no
+    call aggregation at all — any advantage over RMI comes purely from
+    remote results staying on the server.
+    """
+    batch = create_batch(stub)
+    node = batch
+    for _ in range(hops):
+        node = node.next_node()
+        batch.flush_and_continue()
+    value = node.get_value()
+    batch.flush()
+    return value.get()

@@ -1,0 +1,45 @@
+"""No-op service: the paper's first micro-benchmark (§5.3, Figures 5-6).
+
+A do-nothing remote method isolates pure middleware overhead: RMI pays
+one round trip per call, BRMI pays one per batch.
+"""
+
+from __future__ import annotations
+
+from repro.core import create_batch
+from repro.rmi import RemoteInterface, RemoteObject
+
+
+class NoOpService(RemoteInterface):
+    """A remote method that takes nothing and returns nothing."""
+
+    def noop(self) -> None:
+        """Do nothing, remotely."""
+        ...
+
+
+class NoOpImpl(RemoteObject, NoOpService):
+    """Counts invocations so tests can verify delivery."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def noop(self) -> None:
+        self.calls += 1
+
+
+def run_noop_rmi(stub, calls: int) -> int:
+    """Issue *calls* no-ops as individual RMI round trips."""
+    for _ in range(calls):
+        stub.noop()
+    return calls
+
+
+def run_noop_brmi(stub, calls: int) -> int:
+    """Issue *calls* no-ops as a single explicit batch."""
+    batch = create_batch(stub)
+    futures = [batch.noop() for _ in range(calls)]
+    batch.flush()
+    for future in futures:
+        future.get()  # surfaces any server-side failure
+    return calls

@@ -1,0 +1,107 @@
+"""Remote simulation with a load balancer (§5.3, Figures 10-11).
+
+Isolates the benefit of *remote reference identity* (§4.4).  The client
+obtains a ``Balancer`` from the simulation server and passes it back into
+every ``perform_simulation_step``:
+
+- under RMI the balancer argument arrives as a *stub*, so each of the
+  ``reps`` internal ``balance()`` calls re-enters the middleware through
+  the loopback transport;
+- under BRMI the executor resolves the batch-local reference to the
+  identical server object, so ``balance()`` is a plain local call.
+
+The BRMI workload flushes after every step (batch size one, like the
+paper) so the measured gap is attributable to identity alone.
+"""
+
+from __future__ import annotations
+
+from repro.core import create_batch
+from repro.rmi import RemoteInterface, RemoteObject
+
+
+class Balancer(RemoteInterface):
+    """Load-balancing policy object created by the simulation server."""
+
+    def balance(self) -> int:
+        """Run one balancing decision; returns times invoked so far."""
+        ...
+
+
+class Simulation(RemoteInterface):
+    """A long-running remote simulation."""
+
+    def create_balancer(self) -> Balancer:
+        """Create the balancer the client will parameterize steps with."""
+        ...
+
+    def perform_simulation_step(self, reps: int, balancer: Balancer) -> int:
+        """Run one step, consulting the balancer *reps* times."""
+        ...
+
+    def get_simulation_results(self) -> float:
+        """Aggregate result over all steps so far."""
+        ...
+
+
+class BalancerImpl(RemoteObject, Balancer):
+    """Counts balancing decisions (observable work for the tests)."""
+
+    def __init__(self):
+        self.invocations = 0
+
+    def balance(self) -> int:
+        self.invocations += 1
+        return self.invocations
+
+
+class SimulationImpl(RemoteObject, Simulation):
+    """Server-side simulation state."""
+
+    def __init__(self):
+        self._balancer = None
+        self._steps = 0
+        self._work = 0
+
+    def create_balancer(self) -> Balancer:
+        self._balancer = BalancerImpl()
+        return self._balancer
+
+    def perform_simulation_step(self, reps: int, balancer: Balancer) -> int:
+        if reps < 0:
+            raise ValueError(f"reps cannot be negative: {reps}")
+        for _ in range(reps):
+            # Local call in BRMI (identity preserved); remote loopback
+            # call in RMI (argument arrived as a stub).
+            balancer.balance()
+        self._steps += 1
+        self._work += reps
+        return self._steps
+
+    def get_simulation_results(self) -> float:
+        return float(self._work)
+
+
+def run_simulation_rmi(stub, steps: int, reps: int) -> float:
+    """RMI: create a balancer, run steps, read the result."""
+    balancer = stub.create_balancer()
+    for _ in range(steps):
+        stub.perform_simulation_step(reps, balancer)
+    return stub.get_simulation_results()
+
+
+def run_simulation_brmi(stub, steps: int, reps: int) -> float:
+    """BRMI with one-method batches per step (isolates identity).
+
+    ``flush_and_continue`` keeps the balancer alive in the server-side
+    session between single-call batches.
+    """
+    batch = create_batch(stub)
+    balancer = batch.create_balancer()
+    batch.flush_and_continue()
+    for _ in range(steps):
+        batch.perform_simulation_step(reps, balancer)
+        batch.flush_and_continue()
+    result = batch.get_simulation_results()
+    batch.flush()
+    return result.get()

@@ -1,0 +1,105 @@
+"""Translation service: the paper's third case study (§5.1, after Grosso).
+
+The client sends a serializable ``Word`` and gets a translated ``Word``
+back — one round trip per word under RMI.  The case study shows BRMI
+handling *runtime-sized* batches: the number of words is only known when
+the user types them, and the batch grows dynamically to match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import create_batch
+from repro.rmi import RemoteInterface, RemoteObject
+from repro.wire.registry import register_exception, serializable
+
+
+@register_exception
+class UnknownWordError(Exception):
+    """The dictionary has no entry for this word/language pair."""
+
+
+@serializable
+@dataclass(frozen=True)
+class Word:
+    """A word tagged with its language (passed by copy)."""
+
+    text: str
+    language: str = "en"
+
+
+class Translator(RemoteInterface):
+    """Word-at-a-time translation service."""
+
+    def translate(self, word: Word) -> Word:
+        """Translate into the service's target language."""
+        ...
+
+    def target_language(self) -> str:
+        """The language translations are produced in."""
+        ...
+
+
+#: A small built-in English→French dictionary for the demo service.
+DEFAULT_DICTIONARY = {
+    "hello": "bonjour",
+    "world": "monde",
+    "file": "fichier",
+    "remote": "distant",
+    "object": "objet",
+    "network": "réseau",
+    "batch": "lot",
+    "future": "avenir",
+    "cursor": "curseur",
+    "server": "serveur",
+    "client": "client",
+    "cat": "chat",
+    "dog": "chien",
+    "house": "maison",
+    "water": "eau",
+}
+
+
+class TranslatorImpl(RemoteObject, Translator):
+    """Dictionary-backed translator (English → *target*)."""
+
+    def __init__(self, dictionary=None, target: str = "fr",
+                 strict: bool = False):
+        self._dictionary = dict(
+            DEFAULT_DICTIONARY if dictionary is None else dictionary
+        )
+        self._target = target
+        self._strict = strict
+        self.requests = 0
+
+    def translate(self, word: Word) -> Word:
+        self.requests += 1
+        if not isinstance(word, Word):
+            raise TypeError(f"expected a Word, got {type(word).__name__}")
+        translated = self._dictionary.get(word.text.lower())
+        if translated is None:
+            if self._strict:
+                raise UnknownWordError(word.text, word.language)
+            translated = word.text  # pass through untranslated
+        return Word(translated, self._target)
+
+    def target_language(self) -> str:
+        return self._target
+
+
+def translate_rmi(stub, words) -> list:
+    """RMI: one round trip per word."""
+    return [stub.translate(word) for word in words]
+
+
+def translate_brmi(stub, words) -> list:
+    """BRMI: a runtime-sized batch — one round trip total (§5.1):
+
+    "the BRMI API makes it possible for the programmer to express the
+    size and composition of batches at runtime."
+    """
+    batch = create_batch(stub)
+    futures = [batch.translate(word) for word in words]
+    batch.flush()
+    return [future.get() for future in futures]

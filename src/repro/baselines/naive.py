@@ -1,0 +1,165 @@
+"""Naive call aggregation: an implicit-batching-style baseline.
+
+The paper's comparison to implicit batching (§1, §6) is qualitative —
+no public Java implementation existed.  This module supplies a concrete
+stand-in so the comparison can be *measured*: a batching layer with the
+key weakness the paper attributes to implicit systems, namely that
+"retrieving multiple data fields, exception handling, and iterators all
+pose problems".  Concretely:
+
+- consecutive *value-returning* calls on one object aggregate into a
+  batch, exactly like BRMI;
+- any call returning a **remote object** (or an array of them) forces a
+  flush and executes eagerly over plain RMI, because the aggregator has
+  no way to chain calls through an unmaterialized result — each hop of a
+  linked-list traversal becomes a separate round trip plus a marshalled
+  stub, like Figure 7's RMI curve;
+- reading any future also forces a flush (the implicit trigger).
+
+The baseline rides the same ``__invoke_batch__`` wire path as BRMI, so
+timing differences measure the *model* (what can be aggregated), not the
+implementation.
+"""
+
+from __future__ import annotations
+
+from repro.core.future import Future
+from repro.core.policies import default_policy
+from repro.core.proxy import create_batch
+from repro.rmi.stub import Stub
+
+
+class NaiveBatch:
+    """Aggregating proxy with implicit-batching-style limitations."""
+
+    def __init__(self, stub: Stub):
+        if not isinstance(stub, Stub):
+            raise TypeError(
+                f"NaiveBatch wraps an RMI stub, got {type(stub).__name__}"
+            )
+        self._stub = stub
+        self._pending = []  # (method_name, args, kwargs, NaiveFuture)
+
+    # -- recording ---------------------------------------------------------
+
+    def __getattr__(self, name):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        spec = self._stub.method_spec(name)
+        return _NaiveMethod(self, spec)
+
+    def _record_value_call(self, spec, args, kwargs):
+        future = NaiveFuture(self)
+        self._pending.append((spec.name, args, kwargs, future))
+        return future
+
+    def _eager_call(self, spec, args, kwargs):
+        """Remote-returning call: flush, then plain RMI."""
+        self.flush()
+        result = getattr(self._stub, spec.name)(*args, **kwargs)
+        if spec.returns_kind == "remote":
+            return NaiveBatch(result)
+        return [NaiveBatch(item) for item in result]
+
+    # -- flushing ----------------------------------------------------------
+
+    def flush(self) -> None:
+        """Ship all pending value calls in one real batch."""
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        batch = create_batch(self._stub, policy=default_policy())
+        inner_futures = []
+        for method_name, args, kwargs, _future in pending:
+            inner_futures.append(getattr(batch, method_name)(*args, **kwargs))
+        batch.flush()
+        for (_name, _args, _kwargs, future), inner in zip(
+            pending, inner_futures
+        ):
+            future._resolve(inner)
+
+    def pending_calls(self) -> int:
+        """How many calls are aggregated but not yet sent."""
+        return len(self._pending)
+
+
+class _NaiveMethod:
+    """One method bound to a naive batch: queue or materialize."""
+
+    __slots__ = ("_owner", "_spec")
+
+    def __init__(self, owner: NaiveBatch, spec):
+        self._owner = owner
+        self._spec = spec
+
+    def __call__(self, *args, **kwargs):
+        if self._spec.returns_kind == "value":
+            return self._owner._record_value_call(self._spec, args, kwargs)
+        return self._owner._eager_call(self._spec, args, kwargs)
+
+    def __repr__(self):
+        return f"<naive method {self._spec.name}>"
+
+
+class NaiveFuture:
+    """A future whose first read implicitly flushes its batch."""
+
+    __slots__ = ("_owner", "_inner")
+
+    def __init__(self, owner: NaiveBatch):
+        self._owner = owner
+        self._inner = None
+
+    def get(self):
+        """Read the value, triggering the implicit flush if needed."""
+        if self._inner is None:
+            self._owner.flush()
+        return self._inner.get()
+
+    def is_done(self) -> bool:
+        return self._inner is not None
+
+    def _resolve(self, inner: Future) -> None:
+        self._inner = inner
+
+
+def naive_wrap(stub: Stub) -> NaiveBatch:
+    """Entry point mirroring :func:`repro.core.create_batch`."""
+    return NaiveBatch(stub)
+
+
+# -- baseline workloads matching the paper's micro-benchmarks -------------
+
+
+def run_noop_naive(stub, calls: int) -> int:
+    """No-op workload: fully aggregatable, so naive ≈ BRMI here."""
+    batch = naive_wrap(stub)
+    futures = [batch.noop() for _ in range(calls)]
+    batch.flush()
+    for future in futures:
+        future.get()
+    return calls
+
+
+def traverse_naive(stub, hops: int) -> int:
+    """Linked-list traversal: every hop materializes, so naive ≈ RMI."""
+    node = naive_wrap(stub)
+    for _ in range(hops):
+        node = node.next_node()
+    value = node.get_value()
+    node.flush()
+    return value.get()
+
+
+def list_directory_naive(stub):
+    """Directory listing: the array return forces per-file round trips
+    for navigation, though each file's four metadata reads aggregate."""
+    listing = []
+    for entry in naive_wrap(stub).list_files():
+        name = entry.get_name()
+        is_dir = entry.is_directory()
+        mtime = entry.last_modified()
+        size = entry.length()
+        entry.flush()
+        listing.append((name.get(), is_dir.get(), mtime.get(), size.get()))
+    return listing

@@ -1,0 +1,48 @@
+"""Benchmark harness and per-figure experiment generators."""
+
+from repro.bench.harness import BenchEnv, Experiment, Series, sweep
+from repro.bench.experiments import (
+    FIGURES,
+    run_ablation_identity,
+    run_ablation_latency,
+    run_baseline_comparison,
+    run_all_figures,
+    run_applicability,
+    run_figure,
+    run_file_server,
+    run_linked_list,
+    run_model_comparison,
+    run_noop,
+    run_simulation,
+)
+from repro.bench.reporting import (
+    render_applicability,
+    render_chart,
+    render_experiment,
+    render_table,
+    summarize_speedups,
+)
+
+__all__ = [
+    "BenchEnv",
+    "Experiment",
+    "FIGURES",
+    "render_applicability",
+    "render_chart",
+    "render_experiment",
+    "render_table",
+    "run_ablation_identity",
+    "run_ablation_latency",
+    "run_all_figures",
+    "run_baseline_comparison",
+    "run_applicability",
+    "run_figure",
+    "run_file_server",
+    "run_linked_list",
+    "run_model_comparison",
+    "run_noop",
+    "run_simulation",
+    "Series",
+    "summarize_speedups",
+    "sweep",
+]

@@ -1,0 +1,95 @@
+"""Command-line driver for the evaluation harness.
+
+Usage::
+
+    python -m repro.bench               # all figures + applicability
+    python -m repro.bench fig07 fig12   # selected figures
+    python -m repro.bench --list        # what can be regenerated
+    python -m repro.bench --ablations   # the beyond-the-paper sweeps
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.experiments import (
+    FIGURES,
+    run_ablation_identity,
+    run_ablation_latency,
+    run_applicability,
+    run_figure,
+    run_model_comparison,
+)
+from repro.bench.reporting import (
+    render_applicability,
+    render_experiment,
+    summarize_speedups,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        metavar="FIGURE",
+        help="figure ids (fig05..fig13); default: all",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available figure ids"
+    )
+    parser.add_argument(
+        "--ablations", action="store_true",
+        help="also run the beyond-the-paper ablation sweeps",
+    )
+    parser.add_argument(
+        "--no-chart", action="store_true", help="tables only, no ASCII charts"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for figure_id in sorted(FIGURES):
+            generator, kwargs = FIGURES[figure_id]
+            conditions = kwargs.get("conditions")
+            print(f"{figure_id}: {generator.__name__} "
+                  f"[{getattr(conditions, 'name', '?')}]")
+        return 0
+
+    figure_ids = args.figures or sorted(FIGURES)
+    unknown = [fid for fid in figure_ids if fid not in FIGURES]
+    if unknown:
+        print(f"unknown figure ids: {', '.join(unknown)}; "
+              f"try --list", file=sys.stderr)
+        return 2
+
+    for figure_id in figure_ids:
+        experiment = run_figure(figure_id)
+        print(render_experiment(experiment, chart=not args.no_chart))
+        print(summarize_speedups(experiment))
+        print()
+
+    if not args.figures:
+        print("== sec5.1: applicability (round trips) ==")
+        print(render_applicability(run_applicability()))
+        print()
+
+    if args.ablations:
+        for experiment in (
+            run_ablation_latency(),
+            run_ablation_identity(),
+            run_model_comparison(),
+        ):
+            print(render_experiment(experiment, chart=False))
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

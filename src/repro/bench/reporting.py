@@ -1,0 +1,114 @@
+"""Rendering experiments as ASCII tables and charts.
+
+The paper reports line charts; a terminal reproduction prints the same
+series as a table (exact numbers) plus a rough ASCII plot (shape at a
+glance), which is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bench.harness import Experiment
+
+_CHART_WIDTH = 46
+_MARKS = "*o+x#@"
+
+
+def render_table(experiment: Experiment) -> str:
+    """The experiment's series as an aligned table."""
+    headers = [experiment.xlabel] + [s.name for s in experiment.series]
+    xs = experiment.series[0].xs() if experiment.series else []
+    rows = []
+    for x in xs:
+        row = [_fmt(x)]
+        for series in experiment.series:
+            row.append(_fmt(series.at(x)))
+        rows.append(row)
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rows)) if rows
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_chart(experiment: Experiment) -> str:
+    """A rough ASCII chart: one row per x, bars in milliseconds."""
+    if not experiment.series:
+        return "(no data)"
+    peak = max(
+        (ms for series in experiment.series for _x, ms in series.points),
+        default=0.0,
+    )
+    if peak <= 0:
+        return "(all-zero data)"
+    lines = []
+    xs = experiment.series[0].xs()
+    for x in xs:
+        for mark, series in zip(_MARKS, experiment.series):
+            ms = series.at(x)
+            bar = mark * max(1, round(ms / peak * _CHART_WIDTH))
+            lines.append(
+                f"{_fmt(x):>6} {series.name:>5} |{bar:<{_CHART_WIDTH}}| "
+                f"{ms:.3f} ms"
+            )
+        lines.append("")
+    legend = "   ".join(
+        f"{mark}={series.name}"
+        for mark, series in zip(_MARKS, experiment.series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def render_experiment(experiment: Experiment, chart: bool = True) -> str:
+    """Full report block for one experiment."""
+    header = (
+        f"== {experiment.exp_id}: {experiment.title} "
+        f"[{experiment.conditions_name}] =="
+    )
+    parts = [header, render_table(experiment)]
+    if chart:
+        parts.append("")
+        parts.append(render_chart(experiment))
+    if experiment.notes:
+        parts.append("")
+        parts.append(f"note: {experiment.notes}")
+    return "\n".join(parts)
+
+
+def render_applicability(counts: Dict[str, Dict[str, int]]) -> str:
+    """Round-trip table for the §5.1 applicability study."""
+    lines = [
+        f"{'case study':<16}{'RMI round trips':>18}{'BRMI round trips':>19}",
+        "-" * 53,
+    ]
+    for app in sorted(counts):
+        row = counts[app]
+        lines.append(f"{app:<16}{row['rmi']:>18}{row['brmi']:>19}")
+    return "\n".join(lines)
+
+
+def summarize_speedups(experiment: Experiment, baseline: str = "RMI",
+                       contender: str = "BRMI") -> str:
+    """One-line min/max speedup summary for an experiment."""
+    xs = experiment.series_named(baseline).xs()
+    ratios = [experiment.ratio(baseline, contender, x) for x in xs]
+    return (
+        f"{experiment.exp_id}: {contender} speedup over {baseline} "
+        f"ranges {min(ratios):.2f}x (x={xs[ratios.index(min(ratios))]}) to "
+        f"{max(ratios):.2f}x (x={xs[ratios.index(max(ratios))]})"
+    )
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float) and value != int(value):
+        return f"{value:.3f}"
+    return str(int(value) if isinstance(value, float) else value)

@@ -1,0 +1,93 @@
+"""Errors specific to the explicit-batching layer."""
+
+from __future__ import annotations
+
+from repro.wire.registry import register_exception
+
+
+@register_exception
+class BatchError(Exception):
+    """Base class for batching-layer failures."""
+
+
+@register_exception
+class FutureNotReadyError(BatchError):
+    """``Future.get()`` before the owning batch was flushed (paper §3.2:
+    "Any attempt to get the value of a future before flush results in an
+    error")."""
+
+
+@register_exception
+class BatchClosedError(BatchError):
+    """Recording on (or re-flushing) a batch chain that already ended.
+
+    A chain ends at ``flush()``; only ``flush_and_continue()`` keeps it
+    open for further recording.
+    """
+
+
+@register_exception
+class BatchStateError(BatchError):
+    """A batch-API call out of sequence (e.g. ``next()`` before flush)."""
+
+
+@register_exception
+class BatchAbortedError(BatchError):
+    """The batch stopped before executing this operation.
+
+    Under ``AbortPolicy`` every operation after the failing one is
+    unexecuted; getting a future that does not *depend* on the failing
+    call raises this carrier (dependent futures re-raise the original
+    exception instead, per §3.3).
+    """
+
+    def __init__(self, message="batch aborted before this operation ran"):
+        super().__init__(message)
+
+
+@register_exception
+class CursorInterleavingError(BatchError):
+    """Cursor sub-batch operations were interleaved with non-cursor ones.
+
+    The paper (§4.1) requires cursor operations to be contiguous; this
+    implementation enforces the constraint at record time on the client.
+    """
+
+
+@register_exception
+class CursorStateError(BatchError):
+    """Cursor iteration misuse: reading element futures before the first
+    ``next()``, calling ``next()`` before flush, or operating on the
+    current element after iteration was exhausted."""
+
+
+@register_exception
+class NotInBatchError(BatchError):
+    """A batch proxy from a different batch chain was used as a target or
+    argument (paper §4.1: "An error is raised if the stub was created
+    within a different batch chain")."""
+
+
+@register_exception
+class UnsupportedBatchOperationError(BatchError):
+    """A recorded construct the batching model does not support, e.g. a
+    nested cursor (a cursor-returning method invoked on a cursor)."""
+
+
+@register_exception
+class SessionExpiredError(BatchError):
+    """A chained batch referenced a server session that no longer exists
+    (evicted or already finished)."""
+
+    def __init__(self, session_id):
+        self.session_id = session_id
+        super().__init__(session_id)
+
+    def __str__(self):
+        return f"batch session {self.session_id} does not exist on the server"
+
+
+@register_exception
+class BatchDependencyError(BatchError):
+    """Server-side marker: an operation was skipped because something it
+    depends on failed earlier in the batch."""

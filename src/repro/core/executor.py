@@ -1,0 +1,450 @@
+"""Server-side batch execution: the ``invokeBatch`` replay engine.
+
+Implements the pseudocode of the paper's Figure 2, extended with the full
+feature set of §3–§4:
+
+- replays recorded invocations in client order against a local object
+  table (seq → object), which is what preserves *remote reference
+  identity* (§4.4): the return value of one batched call used as the
+  target/argument of a later one is the identical server object, never a
+  marshalled stub;
+- value results are marshalled back in bulk; remote results never cross
+  the wire;
+- exception policies (§3.3) decide BREAK / CONTINUE / REPEAT / RESTART
+  after every failure, with bounded repeats and restarts;
+- cursors (§3.4) run their sub-batch once per array element, producing a
+  per-element result matrix and element ids reusable by chained batches;
+- chained batches (§3.5) persist the object table in a
+  :class:`~repro.core.session.SessionStore` between flushes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import (
+    BatchDependencyError,
+    UnsupportedBatchOperationError,
+)
+from repro.core.policies import (
+    MAX_REPEATS,
+    MAX_RESTARTS,
+    POLICY_TYPES,
+    ExceptionAction,
+)
+from repro.core.recording import NONE_ID, ROOT_SEQ, ArgRef, BatchResponse, InvocationData
+from repro.core.session import SessionStore
+from repro.net.conditions import CHARGE_BATCH_OP, CHARGE_BATCH_SETUP
+from repro.rmi.exceptions import MarshalError, NoSuchMethodError
+from repro.rmi.marshal import marshal, unmarshal
+from repro.rmi.remote import RemoteObject, interface_names
+from repro.rmi.stub import Stub
+from repro.wire.refs import RemoteRef
+
+
+class _RestartSignal(Exception):
+    """Internal: a policy chose RESTART; unwind and re-run the batch."""
+
+    def __init__(self, cause):
+        super().__init__("batch restart requested")
+        self.cause = cause
+
+
+@dataclass
+class _Outcome:
+    """Mutable state of one batch run."""
+
+    objects: dict
+    results: dict = field(default_factory=dict)
+    exceptions: dict = field(default_factory=dict)
+    cursor_lengths: dict = field(default_factory=dict)
+    cursor_results: dict = field(default_factory=dict)
+    cursor_exceptions: dict = field(default_factory=dict)
+    not_executed: list = field(default_factory=list)
+    break_seq: int = NONE_ID
+    broke: bool = False
+
+    def record_failure(self, seq: int, exc: BaseException) -> None:
+        self.exceptions[seq] = exc
+
+    def record_break(self, seq: int, exc: BaseException) -> None:
+        self.exceptions[seq] = exc
+        self.break_seq = seq
+        self.broke = True
+
+    def record_element_failure(self, seq: int, index: int,
+                               exc: BaseException) -> None:
+        self.cursor_exceptions.setdefault(seq, {})[index] = exc
+
+
+class BatchExecutor:
+    """Executes batches against one server's exported objects."""
+
+    def __init__(self, server, session_capacity: int = None):
+        self._server = server
+        if session_capacity is None:
+            self._sessions = SessionStore()
+        else:
+            self._sessions = SessionStore(session_capacity)
+
+    @property
+    def sessions(self) -> SessionStore:
+        """The chained-batch session store (exposed for tests/metrics)."""
+        return self._sessions
+
+    def invoke_batch(self, root_obj, invocations, policy,
+                     session_id: int = NONE_ID,
+                     keep_session: bool = False) -> BatchResponse:
+        """Entry point reached via the ``__invoke_batch__`` pseudo-method."""
+        invocations = self._validate(invocations, policy)
+        if session_id != NONE_ID:
+            base_objects = dict(self._sessions.get(session_id))
+            base_objects[ROOT_SEQ] = root_obj
+        else:
+            base_objects = {ROOT_SEQ: root_obj}
+
+        restarts = 0
+        while True:
+            outcome = _Outcome(objects=dict(base_objects))
+            try:
+                self._run(invocations, policy, outcome)
+                break
+            except _RestartSignal as signal:
+                restarts += 1
+                if restarts > MAX_RESTARTS:
+                    # Exhausted restarts escalate to BREAK at the point
+                    # of failure, like exhausted repeats.
+                    outcome = _Outcome(objects=dict(base_objects))
+                    self._run(invocations, _NoRestart(policy), outcome)
+                    break
+                continue
+
+        response_session = NONE_ID
+        if keep_session:
+            if session_id != NONE_ID:
+                self._sessions.update(session_id, outcome.objects)
+                response_session = session_id
+            else:
+                response_session = self._sessions.create(outcome.objects)
+        elif session_id != NONE_ID:
+            self._sessions.discard(session_id)
+
+        return BatchResponse(
+            results=outcome.results,
+            exceptions=outcome.exceptions,
+            cursor_lengths=outcome.cursor_lengths,
+            cursor_results=outcome.cursor_results,
+            cursor_exceptions=outcome.cursor_exceptions,
+            not_executed=tuple(outcome.not_executed),
+            break_seq=outcome.break_seq,
+            session_id=response_session,
+            restarts=restarts,
+        )
+
+    # -- main replay loop ---------------------------------------------------
+
+    def _run(self, invocations, policy, outcome: _Outcome) -> None:
+        self._server.charge(CHARGE_BATCH_SETUP)
+        index = 0
+        while index < len(invocations):
+            inv = invocations[index]
+            if outcome.broke:
+                outcome.not_executed.append(inv.seq)
+                index += 1
+                continue
+            if inv.in_cursor:
+                # Orphan sub-op: its cursor op failed, so its elements
+                # never materialized.
+                outcome.not_executed.append(inv.seq)
+                index += 1
+                continue
+            if inv.returns_kind == "cursor":
+                sub_end = index + 1
+                while (
+                    sub_end < len(invocations)
+                    and invocations[sub_end].cursor_seq == inv.seq
+                ):
+                    sub_end += 1
+                sub_ops = invocations[index + 1 : sub_end]
+                ran = self._run_cursor(inv, sub_ops, policy, outcome)
+                if not ran:
+                    index += 1  # let the main loop mark sub-ops as orphans
+                else:
+                    index = sub_end
+                continue
+            self._run_single(inv, policy, outcome)
+            index += 1
+
+    def _run_single(self, inv: InvocationData, policy, outcome: _Outcome):
+        resolved = self._resolve_invocation(inv, outcome, element=None)
+        if resolved is None:
+            return
+        target, args, kwargs = resolved
+        result, exc, action = self._call_with_policy(
+            target, inv, args, kwargs, policy
+        )
+        if exc is not None:
+            if action == ExceptionAction.BREAK:
+                outcome.record_break(inv.seq, exc)
+            else:
+                outcome.record_failure(inv.seq, exc)
+            return
+        self._store_result(inv, result, outcome, element=None)
+
+    # -- cursors ---------------------------------------------------------
+
+    def _run_cursor(self, inv, sub_ops, policy, outcome: _Outcome) -> bool:
+        """Run a cursor op plus its sub-batch; False if the op failed."""
+        resolved = self._resolve_invocation(inv, outcome, element=None)
+        if resolved is None:
+            return False
+        target, args, kwargs = resolved
+        collection, exc, action = self._call_with_policy(
+            target, inv, args, kwargs, policy
+        )
+        if exc is None:
+            try:
+                items = list(collection)
+            except TypeError:
+                exc = UnsupportedBatchOperationError(
+                    f"{inv.method!r} was batched as a cursor but returned "
+                    f"non-iterable {type(collection).__name__}"
+                )
+                action = policy.decide(exc, inv.method, inv.seq)
+        if exc is not None:
+            if action == ExceptionAction.BREAK:
+                outcome.record_break(inv.seq, exc)
+            else:
+                outcome.record_failure(inv.seq, exc)
+            return False
+
+        seq = inv.seq
+        outcome.cursor_lengths[seq] = len(items)
+        for index, item in enumerate(items):
+            outcome.objects[(seq, index)] = item
+
+        element_scope = {seq}
+        for sub in sub_ops:
+            element_scope.add(sub.seq)
+        value_sub_seqs = [s.seq for s in sub_ops if s.returns_kind == "value"]
+        for sub_seq in value_sub_seqs:
+            outcome.cursor_results[sub_seq] = []
+
+        for index in range(len(items)):
+            for sub in sub_ops:
+                if outcome.broke:
+                    return True
+                self._run_sub_op(
+                    sub, seq, index, element_scope, policy, outcome
+                )
+        return True
+
+    def _run_sub_op(self, sub, cursor_seq, index, element_scope, policy,
+                    outcome: _Outcome):
+        def pad(exc):
+            if sub.returns_kind == "value":
+                outcome.cursor_results[sub.seq].append(None)
+            outcome.record_element_failure(sub.seq, index, exc)
+
+        try:
+            target = self._resolve_ref(
+                sub.target, outcome.objects, element_scope, cursor_seq, index
+            )
+            args = self._substitute(
+                sub.args, outcome.objects, element_scope, cursor_seq, index
+            )
+            kwargs = self._substitute(
+                sub.kwargs, outcome.objects, element_scope, cursor_seq, index
+            )
+        except KeyError:
+            # Target/argument depends on a sub-op that failed for this
+            # element; propagate that element's original failure.
+            cause = self._element_cause(sub, cursor_seq, index, outcome)
+            pad(cause)
+            return
+        result, exc, action = self._call_with_policy(
+            target, sub, args, kwargs, policy, index=index
+        )
+        if exc is not None:
+            pad(exc)
+            if action == ExceptionAction.BREAK:
+                # Mirror into top-level exceptions so the client can find
+                # the break cause without digging through matrices.
+                outcome.record_break(sub.seq, exc)
+            return
+        if sub.returns_kind == "value":
+            outcome.cursor_results[sub.seq].append(
+                self._marshal_result(result)
+            )
+        else:
+            outcome.objects[(sub.seq, index)] = result
+
+    def _element_cause(self, sub, cursor_seq, index, outcome):
+        for seq, per_element in outcome.cursor_exceptions.items():
+            if seq != sub.seq and index in per_element:
+                return per_element[index]
+        return BatchDependencyError(
+            f"operation #{sub.seq} depends on an unavailable element result"
+        )
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _call_with_policy(self, target, inv, args, kwargs, policy,
+                          index: int = None):
+        """Invoke one method under the batch's exception policy.
+
+        Returns ``(result, exception, action)`` where exactly one of
+        result/exception is meaningful.  REPEAT retries in place (bounded);
+        RESTART unwinds via :class:`_RestartSignal`.
+        """
+        attempts = 0
+        policy_index = inv.seq if index is None else index
+        while True:
+            try:
+                method = self._method(target, inv.method)
+                result = method(*args, **kwargs)
+            except Exception as exc:  # noqa: BLE001 - policies see everything
+                action = policy.decide(exc, inv.method, policy_index)
+                if action == ExceptionAction.REPEAT:
+                    attempts += 1
+                    if attempts <= MAX_REPEATS:
+                        continue
+                    action = ExceptionAction.BREAK
+                if action == ExceptionAction.RESTART:
+                    raise _RestartSignal(exc)
+                self._server.charge(CHARGE_BATCH_OP)
+                return None, exc, action
+            self._server.charge(CHARGE_BATCH_OP)
+            return result, None, None
+
+    def _method(self, target, name):
+        if isinstance(target, Stub):
+            # A loopback/foreign stub: the stub enforces its own interface.
+            return getattr(target, name)
+        if isinstance(target, RemoteObject):
+            specs = {}
+            from repro.rmi.remote import remote_interfaces, remote_methods
+
+            for iface in remote_interfaces(target):
+                specs.update(remote_methods(iface))
+            if name not in specs:
+                raise NoSuchMethodError(name, interface_names(target))
+            return getattr(target, name)
+        raise NoSuchMethodError(name, (type(target).__name__,))
+
+    def _resolve_invocation(self, inv, outcome, element):
+        """Target + args for a top-level op; None when a dependency died."""
+        try:
+            target = self._resolve_ref(inv.target, outcome.objects)
+            args = self._substitute(inv.args, outcome.objects)
+            kwargs = self._substitute(inv.kwargs, outcome.objects)
+        except KeyError as exc:
+            outcome.record_failure(
+                inv.seq,
+                BatchDependencyError(
+                    f"operation #{inv.seq} ({inv.method}) depends on "
+                    f"result {exc.args[0]!r} which is unavailable"
+                ),
+            )
+            return None
+        return target, args, kwargs
+
+    def _resolve_ref(self, ref: ArgRef, objects, element_scope=None,
+                     cursor_seq=None, element_index=None):
+        if element_scope is not None and ref.seq in element_scope:
+            if ref.seq == cursor_seq and not ref.is_element:
+                return objects[(cursor_seq, element_index)]
+            if not ref.is_element:
+                return objects[(ref.seq, element_index)]
+        if ref.is_element:
+            return objects[(ref.seq, ref.cursor_index)]
+        return objects[ref.seq]
+
+    def _substitute(self, value, objects, element_scope=None,
+                    cursor_seq=None, element_index=None):
+        """Replace ArgRefs with live objects and refs with stubs."""
+        if isinstance(value, ArgRef):
+            return self._resolve_ref(
+                value, objects, element_scope, cursor_seq, element_index
+            )
+        if isinstance(value, RemoteRef):
+            # RMI quirk preserved for plain remote args: always a stub,
+            # even pointing back into this server (§4.4).
+            return unmarshal(value, self._server)
+        if isinstance(value, list):
+            return [
+                self._substitute(v, objects, element_scope, cursor_seq,
+                                 element_index)
+                for v in value
+            ]
+        if isinstance(value, tuple):
+            return tuple(
+                self._substitute(v, objects, element_scope, cursor_seq,
+                                 element_index)
+                for v in value
+            )
+        if isinstance(value, dict):
+            return {
+                k: self._substitute(v, objects, element_scope, cursor_seq,
+                                    element_index)
+                for k, v in value.items()
+            }
+        return value
+
+    def _store_result(self, inv, result, outcome, element):
+        if inv.returns_kind == "value":
+            outcome.results[inv.seq] = self._marshal_result(result)
+            return
+        # Remote-kind: keep the live object server-side (§4.4); nothing
+        # crosses the wire.  A stub result (object on a third server) is
+        # stored as-is and later calls go through it.
+        if not isinstance(result, (RemoteObject, Stub)):
+            outcome.record_failure(
+                inv.seq,
+                UnsupportedBatchOperationError(
+                    f"{inv.method!r} was batched as returning a remote "
+                    f"object but returned {type(result).__name__}"
+                ),
+            )
+            return
+        outcome.objects[inv.seq] = result
+
+    def _marshal_result(self, result):
+        return marshal(result, self._server)
+
+    # -- validation -----------------------------------------------------------
+
+    @staticmethod
+    def _validate(invocations, policy):
+        if not isinstance(policy, POLICY_TYPES):
+            raise MarshalError(
+                f"batch policy has unexpected type {type(policy).__name__}"
+            )
+        invocations = tuple(invocations)
+        previous = ROOT_SEQ
+        for inv in invocations:
+            if not isinstance(inv, InvocationData):
+                raise MarshalError(
+                    f"batch entry has unexpected type {type(inv).__name__}"
+                )
+            if inv.seq <= previous:
+                raise MarshalError(
+                    f"batch sequence numbers must increase: {inv.seq} after "
+                    f"{previous}"
+                )
+            previous = inv.seq
+        return invocations
+
+
+class _NoRestart:
+    """Policy wrapper that downgrades RESTART to BREAK (restart budget
+    exhausted)."""
+
+    def __init__(self, policy):
+        self._policy = policy
+
+    def decide(self, exc, method, index):
+        action = self._policy.decide(exc, method, index)
+        if action == ExceptionAction.RESTART:
+            return ExceptionAction.BREAK
+        return action

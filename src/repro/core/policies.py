@@ -1,0 +1,175 @@
+"""Exception policies: what a batch does when an operation throws (§3.3).
+
+The policy object travels with the batch to the server, where the
+executor consults it after every failed invocation.  Three final policy
+classes are provided, matching the paper — programmers configure
+:class:`CustomPolicy` with rules rather than subclassing, so no mobile
+code is ever shipped:
+
+- :class:`AbortPolicy` (default): stop the batch at the first exception;
+- :class:`ContinuePolicy`: record the exception, keep executing;
+- :class:`CustomPolicy`: per-(exception, method, position) actions drawn
+  from :class:`ExceptionAction` — ``BREAK``, ``CONTINUE``, ``REPEAT``
+  (retry the failing call), ``RESTART`` (re-run the whole batch).
+
+``REPEAT`` and ``RESTART`` are bounded (:data:`MAX_REPEATS`,
+:data:`MAX_RESTARTS`); exhausting either bound escalates to ``BREAK`` so
+a persistently failing server cannot loop forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.wire import registry as wire_registry
+from repro.wire.registry import serializable
+
+
+class ExceptionAction:
+    """Namespace of the four actions a policy may choose (paper §3.3)."""
+
+    BREAK = "break"
+    CONTINUE = "continue"
+    REPEAT = "repeat"
+    RESTART = "restart"
+
+    ALL = frozenset({BREAK, CONTINUE, REPEAT, RESTART})
+
+    @classmethod
+    def validate(cls, action: str) -> str:
+        if action not in cls.ALL:
+            raise ValueError(
+                f"unknown exception action {action!r}; expected one of "
+                f"{sorted(cls.ALL)}"
+            )
+        return action
+
+
+#: Retries of a single failing call before escalating to BREAK.
+MAX_REPEATS = 3
+#: Re-runs of the whole batch before escalating to BREAK.
+MAX_RESTARTS = 2
+
+
+def _exception_matches(exc: BaseException, class_name: str) -> bool:
+    """Whether *exc* is an instance of the (wire-named) exception class.
+
+    Prefers a real ``isinstance`` check when the class is registered on
+    this side; otherwise falls back to comparing qualified names along
+    the exception's MRO.
+    """
+    registered = wire_registry._exceptions.get(class_name)
+    if registered is not None:
+        return isinstance(exc, registered)
+    return any(
+        wire_registry.qualified_name(cls) == class_name
+        for cls in type(exc).__mro__
+        if issubclass(cls, BaseException)
+    )
+
+
+@serializable
+@dataclass(frozen=True)
+class AbortPolicy:
+    """Stop the batch at the first exception (the default)."""
+
+    def decide(self, exc: BaseException, method: str, index: int) -> str:
+        return ExceptionAction.BREAK
+
+
+@serializable
+@dataclass(frozen=True)
+class ContinuePolicy:
+    """Record every exception but keep executing the batch."""
+
+    def decide(self, exc: BaseException, method: str, index: int) -> str:
+        return ExceptionAction.CONTINUE
+
+
+@serializable
+@dataclass
+class CustomPolicy:
+    """Rule-driven policy.
+
+    Rules are ``(exception_class_name, method_or_empty, index, action)``
+    tuples, matched in insertion order; the first match wins, otherwise
+    ``default_action`` applies.  ``method`` empty and ``index == -1`` are
+    wildcards.  Example (the paper's bank case study)::
+
+        policy = CustomPolicy()
+        policy.set_default_action(ExceptionAction.CONTINUE)
+        policy.set_action(DuplicateAccountException,
+                          ExceptionAction.BREAK,
+                          method="find_credit_account")
+    """
+
+    default_action: str = ExceptionAction.BREAK
+    rules: List[Tuple] = field(default_factory=list)
+
+    def __post_init__(self):
+        ExceptionAction.validate(self.default_action)
+        self.rules = [tuple(rule) for rule in self.rules]
+        for rule in self.rules:
+            self._validate_rule(rule)
+
+    def set_default_action(self, action: str) -> "CustomPolicy":
+        """Action for exceptions matched by no rule; returns self."""
+        self.default_action = ExceptionAction.validate(action)
+        return self
+
+    def set_action(self, exception_type, action: str, method: str = "",
+                   index: int = -1) -> "CustomPolicy":
+        """Add a rule; returns self for chaining.
+
+        *exception_type* may be an exception class or its qualified wire
+        name.  *method* restricts the rule to one remote method name;
+        *index* to one position (sequence number) in the batch.
+        """
+        if isinstance(exception_type, type) and issubclass(
+            exception_type, BaseException
+        ):
+            class_name = wire_registry.qualified_name(exception_type)
+        elif isinstance(exception_type, str):
+            class_name = exception_type
+        else:
+            raise TypeError(
+                f"exception_type must be an exception class or name, "
+                f"got {exception_type!r}"
+            )
+        rule = (class_name, method or "", int(index), ExceptionAction.validate(action))
+        self._validate_rule(rule)
+        self.rules.append(rule)
+        return self
+
+    def decide(self, exc: BaseException, method: str, index: int) -> str:
+        for class_name, rule_method, rule_index, action in self.rules:
+            if rule_method and rule_method != method:
+                continue
+            if rule_index != -1 and rule_index != index:
+                continue
+            if _exception_matches(exc, class_name):
+                return action
+        return self.default_action
+
+    @staticmethod
+    def _validate_rule(rule):
+        if len(rule) != 4:
+            raise ValueError(f"rule must have 4 fields: {rule!r}")
+        class_name, method, index, action = rule
+        if not isinstance(class_name, str) or not class_name:
+            raise ValueError(f"bad exception class name in rule: {rule!r}")
+        if not isinstance(method, str):
+            raise ValueError(f"bad method in rule: {rule!r}")
+        if not isinstance(index, int):
+            raise ValueError(f"bad index in rule: {rule!r}")
+        ExceptionAction.validate(action)
+
+
+#: Policies a batch request may carry; the executor validates against this.
+POLICY_TYPES = (AbortPolicy, ContinuePolicy, CustomPolicy)
+
+
+def default_policy() -> AbortPolicy:
+    """The paper's default: abort processing on any exception."""
+    return AbortPolicy()

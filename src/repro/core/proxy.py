@@ -1,0 +1,507 @@
+"""Batch proxies and the invocation recorder (paper §3.2, §4.1).
+
+``create_batch`` wraps an RMI stub in a *batch-object proxy*.  Method
+calls on the proxy are recorded, not sent; results come back as
+:class:`~repro.core.future.Future` (value returns), further batch proxies
+(remote returns) or cursors (array-of-remote returns).  ``flush()`` ships
+the recorded invocations as one ``__invoke_batch__`` call and distributes
+results/exceptions; ``flush_and_continue()`` does the same but keeps the
+server-side context alive for a chained batch (§3.5).
+
+The Python proxy needs no generated interface classes: return-type
+annotations on the remote interface drive the translation rules of §3.2
+at runtime (the source-generating equivalent of ``rmic -batch`` lives in
+:mod:`repro.core.interfaces`).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.errors import (
+    BatchClosedError,
+    BatchError,
+    BatchAbortedError,
+    BatchStateError,
+    CursorInterleavingError,
+    NotInBatchError,
+    UnsupportedBatchOperationError,
+)
+from repro.core.future import Future
+from repro.core.policies import POLICY_TYPES, default_policy
+from repro.core.recording import NONE_ID, ROOT_SEQ, ArgRef, BatchResponse, InvocationData
+from repro.net.conditions import (
+    CHARGE_BATCH_RECORD,
+    CHARGE_PROXY_CREATE,
+)
+from repro.rmi.exceptions import NoSuchMethodError
+from repro.rmi.marshal import marshal, unmarshal
+from repro.rmi.protocol import INVOKE_BATCH
+from repro.rmi.remote import lookup_interface, remote_methods
+from repro.rmi.stub import Stub
+
+
+class BatchProxy:
+    """Records method calls for one object participating in a batch.
+
+    The public batch API (``flush``, ``flush_and_continue``, ``ok``) is
+    available on every proxy; remote interfaces cannot declare those
+    names, so ``__getattr__`` never shadows them.
+    """
+
+    def __init__(self, recorder, seq, specs, cursor_owner=None):
+        self._recorder = recorder
+        self._seq = seq
+        self._specs = specs
+        self._cursor_owner = cursor_owner
+        self._failure = None
+        self._resolved = seq == ROOT_SEQ
+
+    # -- the Batch interface (paper §3.2/§3.3) --------------------------
+
+    def flush(self) -> None:
+        """Execute the batch; results become available, the chain ends.
+
+        Network and communication errors surface here — this is the only
+        call that talks to the server.
+        """
+        self._recorder.flush(keep_session=False)
+
+    def flush_and_continue(self) -> None:
+        """Execute recorded calls but keep the server context so further
+        calls may use this chain's objects (chained batches)."""
+        self._recorder.flush(keep_session=True)
+
+    def ok(self) -> None:
+        """Re-raise any exception this batch object depends on (§3.3).
+
+        Returns quietly when the object's creating call (and everything
+        it depends on) succeeded.
+        """
+        if self._failure is not None:
+            raise self._failure
+        if not self._resolved:
+            raise BatchStateError(
+                "ok() before the batch creating this object was flushed"
+            )
+
+    # -- recording --------------------------------------------------------
+
+    def __getattr__(self, name):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        spec = self._specs.get(name)
+        if spec is None:
+            raise NoSuchMethodError(name, sorted(self._specs))
+        return _RecordedMethod(self, spec)
+
+    def __repr__(self):
+        role = "root" if self._seq == ROOT_SEQ else f"#{self._seq}"
+        return f"<BatchProxy {role} ({len(self._specs)} methods)>"
+
+
+class _RecordedMethod:
+    """One batched remote method bound to its proxy."""
+
+    __slots__ = ("_proxy", "_spec")
+
+    def __init__(self, proxy, spec):
+        self._proxy = proxy
+        self._spec = spec
+
+    def __call__(self, *args, **kwargs):
+        proxy = self._proxy
+        return proxy._recorder.record(proxy, self._spec, args, kwargs)
+
+    def __repr__(self):
+        return f"<batched method {self._spec.name} of {self._proxy!r}>"
+
+
+class BatchRecorder:
+    """Client-side batch state: invocation log, futures, dependencies.
+
+    One recorder per batch chain; all proxies of the chain share it.
+    Thread-unsafe by design, like the paper (§4.5): concurrent threads
+    must create their own batches via :func:`create_batch`.  A lock still
+    guards the bookkeeping so misuse corrupts nothing.
+    """
+
+    def __init__(self, stub: Stub, policy, client):
+        self._stub = stub
+        self._policy = policy
+        self._client = client
+        self._seq_counter = ROOT_SEQ
+        self._segment = []
+        self._segment_futures = []
+        self._segment_proxies = []
+        self._segment_cursors = []
+        self._deps = {ROOT_SEQ: frozenset()}
+        self._failures = {}
+        self._session_id = NONE_ID
+        self._closed = False
+        self._open_cursor = None
+        self._lock = threading.RLock()
+        self.flush_count = 0
+        self.root = None  # assigned by create_batch
+
+    @property
+    def session_id(self) -> int:
+        """Server session id while a chain is open (-1 otherwise)."""
+        return self._session_id
+
+    @property
+    def pending_invocations(self) -> int:
+        """Calls recorded since the last flush."""
+        return len(self._segment)
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, proxy: BatchProxy, spec, args, kwargs):
+        """Append one invocation; returns its Future/proxy/cursor."""
+        from repro.core.cursor import CursorProxy  # local: avoids cycle
+
+        with self._lock:
+            if self._closed:
+                raise BatchClosedError(
+                    "this batch chain was flushed; create a new batch"
+                )
+            if proxy._failure is not None:
+                raise proxy._failure
+
+            owner = None
+            if isinstance(proxy, CursorProxy) and not proxy._flushed:
+                owner = proxy
+                target = ArgRef(proxy._seq)
+            elif isinstance(proxy, CursorProxy):
+                target = ArgRef(proxy._seq, proxy._require_index())
+            else:
+                target, owner = self._target_for(proxy)
+
+            converted_args, owner = self._convert_args(args, owner)
+            converted_kwargs = {}
+            for key, value in (kwargs or {}).items():
+                converted, owner = self._convert_one(value, owner)
+                converted_kwargs[key] = converted
+
+            self._enforce_contiguity(owner)
+            if owner is not None and spec.returns_kind == "cursor":
+                raise UnsupportedBatchOperationError(
+                    "nested cursors: a cursor operation cannot itself "
+                    "return an array of remote objects"
+                )
+
+            self._seq_counter += 1
+            seq = self._seq_counter
+            invocation = InvocationData(
+                seq=seq,
+                target=target,
+                method=spec.name,
+                args=converted_args,
+                kwargs=converted_kwargs,
+                returns_kind=spec.returns_kind,
+                cursor_seq=owner._seq if owner is not None else NONE_ID,
+            )
+            deps = set(self._deps[target.seq])
+            if target.seq > ROOT_SEQ:
+                deps.add(target.seq)
+            for ref in _arg_refs(converted_args) + _arg_refs(
+                tuple(converted_kwargs.values())
+            ):
+                deps.update(self._deps.get(ref.seq, frozenset()))
+                if ref.seq > ROOT_SEQ:
+                    deps.add(ref.seq)
+            self._deps[seq] = frozenset(deps)
+            self._segment.append(invocation)
+            self._client.charge(CHARGE_BATCH_RECORD)
+            return self._make_result(seq, spec, owner)
+
+    def _target_for(self, proxy):
+        if proxy._recorder is not self:
+            raise NotInBatchError(
+                "batch object belongs to a different batch chain"
+            )
+        co = proxy._cursor_owner
+        if co is None or not co._flushed:
+            return ArgRef(proxy._seq), (co if co is not None else None)
+        # A proxy derived from a flushed cursor addresses the element the
+        # cursor currently points at (chained batches, §3.5).
+        index = co._require_index()
+        element_exc = co._element_exception(proxy._seq, index)
+        if element_exc is not None:
+            raise element_exc
+        return ArgRef(proxy._seq, index), None
+
+    def _convert_args(self, args, owner):
+        converted = []
+        for arg in args:
+            value, owner = self._convert_one(arg, owner)
+            converted.append(value)
+        return tuple(converted), owner
+
+    def _convert_one(self, value, owner):
+        """Wire-safe form of one argument; batch refs become ArgRef.
+
+        Returns ``(converted, owner)`` — the cursor sub-batch owner may
+        widen when a cursor (or cursor-derived proxy) appears among the
+        arguments, since such an op repeats per element (§3.4).
+        """
+        from repro.core.cursor import CursorProxy
+
+        if isinstance(value, Future):
+            raise UnsupportedBatchOperationError(
+                "futures cannot be passed as batched arguments; pass the "
+                "batch object itself for remote results, or flush first "
+                "for values"
+            )
+        if isinstance(value, BatchProxy):
+            if value._recorder is not self:
+                raise NotInBatchError(
+                    "argument batch object belongs to a different batch chain"
+                )
+            if value._failure is not None:
+                raise value._failure
+            if isinstance(value, CursorProxy):
+                if value._flushed:
+                    return ArgRef(value._seq, value._require_index()), owner
+                owner = self._merge_owner(owner, value)
+                return ArgRef(value._seq), owner
+            co = value._cursor_owner
+            if co is not None and co._flushed:
+                index = co._require_index()
+                element_exc = co._element_exception(value._seq, index)
+                if element_exc is not None:
+                    raise element_exc
+                return ArgRef(value._seq, index), owner
+            if co is not None:
+                owner = self._merge_owner(owner, co)
+            return ArgRef(value._seq), owner
+        if isinstance(value, (list, tuple)):
+            items = []
+            for item in value:
+                converted, owner = self._convert_one(item, owner)
+                items.append(converted)
+            return (tuple(items) if isinstance(value, tuple) else items), owner
+        if isinstance(value, dict):
+            result = {}
+            for key, item in value.items():
+                converted, owner = self._convert_one(item, owner)
+                result[key] = converted
+            return result, owner
+        return marshal(value, self._client), owner
+
+    def _merge_owner(self, owner, cursor):
+        if owner is not None and owner is not cursor:
+            raise UnsupportedBatchOperationError(
+                "one batched operation cannot span two different cursors"
+            )
+        return cursor
+
+    def _enforce_contiguity(self, owner):
+        """Cursor sub-batches must be contiguous (§4.1)."""
+        if owner is None:
+            if self._open_cursor is not None:
+                self._open_cursor._sub_closed = True
+                self._open_cursor = None
+            return
+        if self._open_cursor is not None and self._open_cursor is not owner:
+            self._open_cursor._sub_closed = True
+            self._open_cursor = None
+        if owner._sub_closed:
+            raise CursorInterleavingError(
+                "cursor operations must be contiguous: this cursor's "
+                "sub-batch was already closed by a non-cursor operation"
+            )
+        self._open_cursor = owner
+
+    def _make_result(self, seq, spec, owner):
+        from repro.core.cursor import CursorProxy
+
+        if spec.returns_kind == "value":
+            future = Future(seq)
+            if owner is not None:
+                owner._register_future(seq, future)
+            else:
+                self._segment_futures.append((seq, future))
+            return future
+        specs = self._specs_for_interface(spec.returns_interface)
+        self._client.charge(CHARGE_PROXY_CREATE)
+        if spec.returns_kind == "remote":
+            child = BatchProxy(self, seq, specs, cursor_owner=owner)
+            if owner is not None:
+                owner._register_proxy(seq, child)
+            else:
+                self._segment_proxies.append(child)
+            return child
+        cursor = CursorProxy(self, seq, specs)
+        self._segment_cursors.append(cursor)
+        return cursor
+
+    @staticmethod
+    def _specs_for_interface(interface_name):
+        try:
+            iface = lookup_interface(interface_name)
+        except KeyError:
+            raise BatchError(
+                f"remote interface {interface_name!r} is not registered on "
+                "this client; import its defining module before batching"
+            ) from None
+        return remote_methods(iface)
+
+    # -- flushing -----------------------------------------------------------
+
+    def flush(self, keep_session: bool) -> None:
+        """Ship the recorded segment; distribute results and exceptions."""
+        with self._lock:
+            if self._closed:
+                raise BatchClosedError("this batch chain was already flushed")
+            if self._open_cursor is not None:
+                self._open_cursor._sub_closed = True
+                self._open_cursor = None
+            if not self._segment and keep_session:
+                return  # nothing to do yet; the chain stays open
+            if not self._segment and self._session_id == NONE_ID:
+                self._closed = True
+                return  # empty batch, no server state to release
+            invocations = tuple(self._segment)
+            response = self._client.call(
+                self._stub.remote_ref.object_id,
+                INVOKE_BATCH,
+                (invocations, self._policy, self._session_id, keep_session),
+            )
+            if not isinstance(response, BatchResponse):
+                raise BatchError(
+                    f"server returned {type(response).__name__}, expected "
+                    "a BatchResponse"
+                )
+            self._apply(response)
+            self.flush_count += 1
+            if keep_session:
+                self._session_id = response.session_id
+                self._reset_segment()
+            else:
+                self._session_id = NONE_ID
+                self._closed = True
+
+    def _reset_segment(self):
+        self._segment = []
+        self._segment_futures = []
+        self._segment_proxies = []
+        self._segment_cursors = []
+
+    def _apply(self, response: BatchResponse) -> None:
+        self._failures.update(response.exceptions)
+        first_error = response.break_exception()
+        not_executed = set(response.not_executed)
+        for seq, future in self._segment_futures:
+            if seq in response.results:
+                future._assign(unmarshal(response.results[seq], self._client))
+            else:
+                future._fail(
+                    self._verdict_for(seq, not_executed, first_error)
+                )
+        for proxy in self._segment_proxies:
+            proxy._resolved = True
+            if (
+                proxy._seq in self._failures
+                or self._dependency_failure(proxy._seq) is not None
+                or proxy._seq in not_executed
+            ):
+                proxy._failure = self._verdict_for(
+                    proxy._seq, not_executed, first_error
+                )
+        for cursor in self._segment_cursors:
+            cursor._resolved = True
+            cursor._sub_closed = True
+            failure = None
+            if (
+                cursor._seq in self._failures
+                or self._dependency_failure(cursor._seq) is not None
+                or cursor._seq in not_executed
+            ):
+                failure = self._verdict_for(
+                    cursor._seq, not_executed, first_error
+                )
+            cursor._apply_response(response, first_error, failure)
+
+    def _verdict_for(self, seq, not_executed, first_error):
+        dependency = self._dependency_failure(seq)
+        if dependency is not None:
+            return dependency
+        own = self._failures.get(seq)
+        if own is not None:
+            return own
+        if seq in not_executed:
+            aborted = BatchAbortedError()
+            aborted.__cause__ = first_error
+            return aborted
+        return BatchError(f"server returned no outcome for operation #{seq}")
+
+    def _dependency_failure(self, seq):
+        """The first (batch-order) failed op this op depends on, if any."""
+        for dep in sorted(self._deps.get(seq, ())):
+            if dep in self._failures:
+                return self._failures[dep]
+        return None
+
+    def unmarshal_value(self, value):
+        """Unmarshal a cursor element value via the owning client."""
+        return unmarshal(value, self._client)
+
+
+def create_batch(stub: Stub, policy=None, client=None) -> BatchProxy:
+    """Wrap an RMI stub in a batch-object proxy (``BRMI.create``, §3.2).
+
+    *policy* defaults to :class:`~repro.core.policies.AbortPolicy`.
+    *client* is normally inferred from the stub; pass it explicitly only
+    for hand-built stubs.
+    """
+    if isinstance(stub, BatchProxy):
+        raise TypeError("already a batch proxy; wrap the underlying stub")
+    if not isinstance(stub, Stub):
+        raise TypeError(
+            f"create_batch needs an RMI stub, got {type(stub).__name__}"
+        )
+    owner = client if client is not None else stub.owner_client
+    if owner is None:
+        raise BatchError(
+            "stub has no owning client; pass client= to create_batch"
+        )
+    if policy is None:
+        policy = default_policy()
+    if not isinstance(policy, POLICY_TYPES):
+        raise TypeError(
+            f"policy must be one of {[cls.__name__ for cls in POLICY_TYPES]}"
+        )
+    specs = stub.method_specs()
+    if not specs:
+        raise BatchError(
+            "no remote interface metadata for this stub; ensure its "
+            "interface classes are imported on the client"
+        )
+    recorder = BatchRecorder(stub, policy, owner)
+    root = BatchProxy(recorder, ROOT_SEQ, specs)
+    recorder.root = root
+    owner.charge(CHARGE_PROXY_CREATE)
+    return root
+
+
+def _arg_refs(values):
+    """All ArgRef instances reachable in an argument structure."""
+    refs = []
+    stack = list(values)
+    while stack:
+        value = stack.pop()
+        if isinstance(value, ArgRef):
+            refs.append(value)
+        elif isinstance(value, (list, tuple, set, frozenset)):
+            stack.extend(value)
+        elif isinstance(value, dict):
+            stack.extend(value.keys())
+            stack.extend(value.values())
+    return refs
+
+
+class BRMI:
+    """Paper-parity facade: ``BRMI.create(stub, policy)``."""
+
+    create = staticmethod(create_batch)

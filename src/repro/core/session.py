@@ -1,0 +1,78 @@
+"""Server-side sessions for chained batches (paper §3.5).
+
+``flushAndContinue`` promises that "the server context of the previous
+batch is preserved, so that additional calls can be made to any batch
+interface from the original or chained batch".  The context is the
+object table built while replaying the batch: seq → live object, plus
+``(seq, index)`` → cursor element.
+
+A session survives until the client's final ``flush()`` discards it, or
+until the store evicts it (least-recently-used) to stay within capacity —
+clients that abandon chains must not leak server memory forever.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import OrderedDict
+
+from repro.core.errors import SessionExpiredError
+
+#: Default maximum number of live sessions per server.
+DEFAULT_CAPACITY = 1024
+
+
+class SessionStore:
+    """Thread-safe LRU store of chained-batch contexts."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._sessions = OrderedDict()
+        self._ids = itertools.count(1)
+        self.evictions = 0
+
+    def create(self, objects: dict) -> int:
+        """Store a fresh context; returns its session id."""
+        with self._lock:
+            session_id = next(self._ids)
+            self._sessions[session_id] = objects
+            self._evict_if_needed()
+            return session_id
+
+    def get(self, session_id: int) -> dict:
+        """Fetch a context (refreshing its recency) or raise."""
+        with self._lock:
+            if session_id not in self._sessions:
+                raise SessionExpiredError(session_id)
+            self._sessions.move_to_end(session_id)
+            return self._sessions[session_id]
+
+    def update(self, session_id: int, objects: dict) -> None:
+        """Replace the context after another batch segment ran."""
+        with self._lock:
+            if session_id not in self._sessions:
+                raise SessionExpiredError(session_id)
+            self._sessions[session_id] = objects
+            self._sessions.move_to_end(session_id)
+
+    def discard(self, session_id: int) -> None:
+        """Drop a context; missing ids are ignored (idempotent final flush)."""
+        with self._lock:
+            self._sessions.pop(session_id, None)
+
+    def __len__(self):
+        with self._lock:
+            return len(self._sessions)
+
+    def __contains__(self, session_id):
+        with self._lock:
+            return session_id in self._sessions
+
+    def _evict_if_needed(self):
+        while len(self._sessions) > self._capacity:
+            self._sessions.popitem(last=False)
+            self.evictions += 1

@@ -1,0 +1,115 @@
+"""Batch introspection: see what a batch will do before it does it.
+
+Explicit batching's selling point is that communication is *visible* in
+the program text; these helpers make it inspectable at runtime too:
+
+- :func:`describe_batch` renders the recorded invocation plan of a batch
+  chain — targets, methods, arguments, dependencies — like an EXPLAIN
+  for the wire;
+- :func:`batch_summary` reports what the batch would cost, comparing one
+  flush against the equivalent sequence of RMI calls using the analytic
+  model.
+
+Both are read-only and safe to call at any point in the batch lifecycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.proxy import BatchProxy
+from repro.core.recording import NONE_ID, ROOT_SEQ, ArgRef
+from repro.model.analytic import CallShape, predict_brmi_s, predict_rmi_s
+from repro.net.conditions import DEFAULT_HOSTS, LAN
+
+
+@dataclass(frozen=True)
+class BatchSummary:
+    """Shape and predicted economics of one recorded batch segment."""
+
+    pending_invocations: int
+    cursors: int
+    chained_segments_flushed: int
+    session_open: bool
+    predicted_rmi_ms: float
+    predicted_brmi_ms: float
+
+    @property
+    def predicted_speedup(self) -> float:
+        """Predicted RMI/BRMI ratio for the pending segment."""
+        if self.predicted_brmi_ms == 0:
+            return float("inf")
+        return self.predicted_rmi_ms / self.predicted_brmi_ms
+
+
+def _recorder_of(batch: BatchProxy):
+    if not isinstance(batch, BatchProxy):
+        raise TypeError(f"not a batch proxy: {batch!r}")
+    return batch._recorder
+
+
+def _format_ref(ref: ArgRef) -> str:
+    if ref.seq == ROOT_SEQ:
+        return "root"
+    if ref.is_element:
+        return f"#{ref.seq}[{ref.cursor_index}]"
+    return f"#{ref.seq}"
+
+
+def _format_arg(arg) -> str:
+    if isinstance(arg, ArgRef):
+        return _format_ref(arg)
+    text = repr(arg)
+    return text if len(text) <= 40 else text[:37] + "..."
+
+
+def describe_batch(batch: BatchProxy) -> str:
+    """The currently recorded (not yet flushed) invocation plan.
+
+    One line per invocation::
+
+        #3 <- #1.get_size() [value] {cursor #1}
+    """
+    recorder = _recorder_of(batch)
+    lines = [
+        f"batch on {recorder._stub.remote_ref!r} "
+        f"(policy {type(recorder._policy).__name__}, "
+        f"{recorder.flush_count} segment(s) flushed)"
+    ]
+    if not recorder._segment:
+        lines.append("  (no invocations recorded)")
+        return "\n".join(lines)
+    for inv in recorder._segment:
+        args = ", ".join(
+            [_format_arg(arg) for arg in inv.args]
+            + [f"{k}={_format_arg(v)}" for k, v in inv.kwargs.items()]
+        )
+        cursor = (
+            f" {{cursor #{inv.cursor_seq}}}" if inv.cursor_seq != NONE_ID else ""
+        )
+        lines.append(
+            f"  #{inv.seq} <- {_format_ref(inv.target)}."
+            f"{inv.method}({args}) [{inv.returns_kind}]{cursor}"
+        )
+    return "\n".join(lines)
+
+
+def batch_summary(batch: BatchProxy, conditions=LAN,
+                  hosts=DEFAULT_HOSTS,
+                  shape: CallShape = CallShape()) -> BatchSummary:
+    """Size and predicted cost of the pending segment.
+
+    The prediction uses the analytic model under the given network
+    conditions — useful for deciding whether a batch is worth it before
+    paying for the flush (the crossover question of Figure 5).
+    """
+    recorder = _recorder_of(batch)
+    pending = len(recorder._segment)
+    return BatchSummary(
+        pending_invocations=pending,
+        cursors=len(recorder._segment_cursors),
+        chained_segments_flushed=recorder.flush_count,
+        session_open=recorder.session_id != NONE_ID,
+        predicted_rmi_ms=predict_rmi_s(conditions, hosts, pending, shape) * 1e3,
+        predicted_brmi_ms=predict_brmi_s(conditions, hosts, pending, shape) * 1e3,
+    )

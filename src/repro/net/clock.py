@@ -1,0 +1,93 @@
+"""Clocks: wall time for real transports, virtual time for the simulator.
+
+The paper's evaluation measures elapsed milliseconds on a physical network.
+Our benchmarks run on a *virtual* clock instead: the simulated network
+advances it by computed transmission and CPU costs, so measurements are
+deterministic, instantaneous to collect, and independent of the load on the
+machine running the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class Clock:
+    """Minimal clock interface: a monotonically non-decreasing ``now``."""
+
+    def now(self) -> float:
+        """Current time in seconds."""
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        """Advance (virtual) or wait (real) for *seconds*."""
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Real time, for the TCP transport and interactive examples."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class SimClock(Clock):
+    """Virtual time that only moves when someone advances it.
+
+    Thread-safe: the TCP-free simulator is single-threaded in practice, but
+    tests that mix threads with a shared clock must not corrupt it.
+    """
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ValueError(f"clock cannot start in negative time: {start}")
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time: {seconds}")
+        with self._lock:
+            self._now += seconds
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(seconds)
+
+
+class Stopwatch:
+    """Measure an interval on any clock.
+
+    >>> clock = SimClock()
+    >>> watch = Stopwatch(clock)
+    >>> clock.advance(0.25)
+    0.25
+    >>> watch.elapsed()
+    0.25
+    """
+
+    def __init__(self, clock: Clock):
+        self._clock = clock
+        self._start = clock.now()
+
+    def restart(self) -> None:
+        """Reset the interval origin to now."""
+        self._start = self._clock.now()
+
+    def elapsed(self) -> float:
+        """Seconds since construction or the last :meth:`restart`."""
+        return self._clock.now() - self._start
+
+    def elapsed_ms(self) -> float:
+        """Milliseconds since construction or the last :meth:`restart`."""
+        return self.elapsed() * 1e3

@@ -1,0 +1,81 @@
+"""Fault injection for the simulated network.
+
+The paper's model routes all communication failures through ``flush()``
+(§3.3: "network and communication errors are raised by flush, since it is
+the only call that performs remote communication").  These hooks let tests
+prove exactly that: inject a fault, observe that recording succeeds and
+flush raises.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from repro.net.transport import FaultInjectedError
+
+
+class FaultInjector:
+    """Decides, per request, whether the simulated network fails it.
+
+    Three mechanisms compose (any one triggering fails the request):
+
+    - :meth:`fail_next` — fail the next *n* requests, then recover;
+    - :meth:`set_drop_rate` — fail each request with probability *p*
+      (seeded RNG, so runs stay deterministic);
+    - :meth:`fail_when` — arbitrary predicate over ``(address, payload)``.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._lock = threading.Lock()
+        self._fail_remaining = 0
+        self._drop_rate = 0.0
+        self._rng = random.Random(seed)
+        self._predicate = None
+        self.injected = 0
+
+    def fail_next(self, count: int = 1) -> None:
+        """Fail the next *count* requests unconditionally."""
+        if count < 0:
+            raise ValueError(f"count cannot be negative: {count}")
+        with self._lock:
+            self._fail_remaining += count
+
+    def set_drop_rate(self, probability: float) -> None:
+        """Fail each request independently with the given probability."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1]: {probability}")
+        with self._lock:
+            self._drop_rate = probability
+
+    def fail_when(self, predicate) -> None:
+        """Fail any request for which ``predicate(address, payload)`` is true."""
+        with self._lock:
+            self._predicate = predicate
+
+    def clear(self) -> None:
+        """Remove all injected fault sources."""
+        with self._lock:
+            self._fail_remaining = 0
+            self._drop_rate = 0.0
+            self._predicate = None
+
+    def check(self, address: str, payload: bytes) -> None:
+        """Raise :class:`FaultInjectedError` if this request should fail."""
+        with self._lock:
+            if self._fail_remaining > 0:
+                self._fail_remaining -= 1
+                self.injected += 1
+                raise FaultInjectedError(
+                    f"injected failure on request to {address!r}"
+                )
+            if self._drop_rate and self._rng.random() < self._drop_rate:
+                self.injected += 1
+                raise FaultInjectedError(
+                    f"request to {address!r} dropped (rate {self._drop_rate})"
+                )
+            predicate = self._predicate
+        if predicate is not None and predicate(address, payload):
+            with self._lock:
+                self.injected += 1
+            raise FaultInjectedError(f"predicate failed request to {address!r}")

@@ -1,0 +1,90 @@
+"""Traffic accounting shared by both transports.
+
+Round-trip counts are load-bearing for the reproduction: §5.1 of the paper
+argues applicability in terms of remote calls saved (e.g. the file listing
+drops from ``1 + 4N`` calls to one).  Tests assert those exact counts via
+these counters rather than eyeballing timings.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TrafficSnapshot:
+    """Immutable view of the counters at one instant."""
+
+    requests: int
+    bytes_sent: int
+    bytes_received: int
+    charges: dict
+
+    @property
+    def total_bytes(self) -> int:
+        """Payload bytes in both directions."""
+        return self.bytes_sent + self.bytes_received
+
+
+class TrafficStats:
+    """Thread-safe request/byte/charge counters.
+
+    One instance per connection; servers aggregate one across all
+    connections they accept.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._bytes_sent = 0
+        self._bytes_received = 0
+        self._charges = Counter()
+
+    def record_request(self, bytes_sent: int, bytes_received: int) -> None:
+        """Count one completed round trip."""
+        if bytes_sent < 0 or bytes_received < 0:
+            raise ValueError("byte counts cannot be negative")
+        with self._lock:
+            self._requests += 1
+            self._bytes_sent += bytes_sent
+            self._bytes_received += bytes_received
+
+    def record_charge(self, kind: str, count: int = 1) -> None:
+        """Count middleware-level charge events (see conditions module)."""
+        with self._lock:
+            self._charges[kind] += count
+
+    def snapshot(self) -> TrafficSnapshot:
+        """Copy the counters into an immutable snapshot."""
+        with self._lock:
+            return TrafficSnapshot(
+                requests=self._requests,
+                bytes_sent=self._bytes_sent,
+                bytes_received=self._bytes_received,
+                charges=dict(self._charges),
+            )
+
+    def reset(self) -> None:
+        """Zero all counters (benchmark harness reuses connections)."""
+        with self._lock:
+            self._requests = 0
+            self._bytes_sent = 0
+            self._bytes_received = 0
+            self._charges.clear()
+
+    @property
+    def requests(self) -> int:
+        with self._lock:
+            return self._requests
+
+    @property
+    def bytes_sent(self) -> int:
+        with self._lock:
+            return self._bytes_sent
+
+    @property
+    def bytes_received(self) -> int:
+        with self._lock:
+            return self._bytes_received

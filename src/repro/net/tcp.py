@@ -1,0 +1,192 @@
+"""Real TCP transport over loopback sockets.
+
+Functionally identical to :class:`repro.net.sim.SimNetwork` from the RMI
+layer's point of view; used by integration tests and the runnable examples
+to prove the middleware works over an actual byte stream, concurrent
+clients and all — not just the in-process simulator.
+
+One thread per accepted connection; requests on a single connection are
+processed in order (matching the synchronous RMI call model), while
+separate connections proceed concurrently.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.wire.framing import frame, read_frame
+from repro.net.transport import (
+    Channel,
+    ConnectError,
+    ConnectionClosedError,
+    Listener,
+    Network,
+)
+
+
+def _parse(address: str):
+    """Split ``tcp://host:port`` into (host, port)."""
+    if address.startswith("tcp://"):
+        address = address[len("tcp://") :]
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"bad tcp address {address!r}; want tcp://host:port")
+    return host, int(port)
+
+
+class TcpNetwork(Network):
+    """Factory for real socket listeners/channels."""
+
+    def __init__(self):
+        self._listeners = []
+        self._channels = []
+        self._lock = threading.Lock()
+
+    def listen(self, address: str, handler) -> "TcpListener":
+        listener = TcpListener(address, handler)
+        with self._lock:
+            self._listeners.append(listener)
+        return listener
+
+    def connect(self, address: str, from_host: str = "client") -> "TcpChannel":
+        channel = TcpChannel(address)
+        with self._lock:
+            self._channels.append(channel)
+        return channel
+
+    def close(self) -> None:
+        with self._lock:
+            channels = list(self._channels)
+            listeners = list(self._listeners)
+            self._channels.clear()
+            self._listeners.clear()
+        for channel in channels:
+            channel.close()
+        for listener in listeners:
+            listener.close()
+
+
+class TcpListener(Listener):
+    """Threaded accept loop serving ``handler(bytes) -> bytes``."""
+
+    def __init__(self, address: str, handler):
+        host, port = _parse(address)
+        self._handler = handler
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(64)
+        actual_host, actual_port = self._sock.getsockname()
+        super().__init__(f"tcp://{actual_host}:{actual_port}")
+        self._closed = threading.Event()
+        self._threads = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"tcp-accept-{actual_port}", daemon=True
+        )
+        self._accept_thread.start()
+
+    def charge(self, kind: str, count: int = 1) -> None:
+        """Record middleware charges for statistics only (real CPU time
+        is already spent for real on this transport)."""
+        self.stats.record_charge(kind, count)
+
+    def _accept_loop(self):
+        while not self._closed.is_set():
+            try:
+                conn, _peer = self._sock.accept()
+            except OSError:
+                return  # listener socket closed
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_connection(self, conn: socket.socket):
+        with conn:
+            while not self._closed.is_set():
+                try:
+                    payload = read_frame(conn)
+                except Exception:
+                    return  # peer vanished mid-frame; drop the connection
+                if payload == b"":
+                    return  # clean EOF
+                try:
+                    response = self._handler(payload)
+                except Exception:
+                    # The RMI dispatcher encodes its own error responses; a
+                    # raw exception here means the handler itself is broken.
+                    # Close the connection so the client sees a transport
+                    # error instead of hanging.
+                    return
+                try:
+                    conn.sendall(frame(response))
+                except OSError:
+                    return
+                self.stats.record_request(len(payload), len(response))
+
+    def close(self) -> None:
+        self._closed.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class TcpChannel(Channel):
+    """Client socket issuing framed request/response pairs.
+
+    *request_timeout* bounds each round trip (seconds); ``None`` waits
+    forever.  A timeout closes the channel — the response stream would
+    be desynchronized if a late reply arrived for an abandoned request.
+    """
+
+    def __init__(self, address: str, request_timeout: float = None):
+        super().__init__()
+        host, port = _parse(address)
+        self._address = address
+        self._io_lock = threading.Lock()
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError(f"request_timeout must be positive: {request_timeout}")
+        self._request_timeout = request_timeout
+        try:
+            self._sock = socket.create_connection((host, port), timeout=10.0)
+            self._sock.settimeout(request_timeout)
+        except OSError as exc:
+            raise ConnectError(address) from exc
+        self._open = True
+
+    @property
+    def address(self) -> str:
+        return self._address
+
+    def request(self, payload: bytes) -> bytes:
+        with self._io_lock:
+            if not self._open:
+                raise ConnectionClosedError(
+                    f"channel to {self._address!r} is closed"
+                )
+            try:
+                self._sock.sendall(frame(payload))
+                response = read_frame(self._sock)
+            except OSError as exc:
+                self._open = False
+                raise ConnectionClosedError(
+                    f"i/o failure talking to {self._address!r}: {exc}"
+                ) from exc
+        if response == b"":
+            self._open = False
+            raise ConnectionClosedError(
+                f"server at {self._address!r} closed the connection"
+            )
+        self.stats.record_request(len(payload), len(response))
+        return response
+
+    def close(self) -> None:
+        with self._io_lock:
+            self._open = False
+            try:
+                self._sock.close()
+            except OSError:
+                pass

@@ -1,0 +1,106 @@
+"""Message-flow tracing for the simulated network.
+
+The paper's Figure 1 contrasts the runtime architectures as message
+charts: n request/response pairs under RMI versus a single batched pair
+under BRMI.  A :class:`NetworkTrace` attached to a
+:class:`~repro.net.sim.SimNetwork` records every simulated request so
+the same charts can be regenerated from an actual run — see
+``examples/message_flow.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class MessageEvent:
+    """One request/response pair observed on the simulated network."""
+
+    started_at: float  # virtual seconds when the request left the client
+    finished_at: float  # virtual seconds when the response arrived
+    source: str  # originating host
+    target: str  # listener address
+    bytes_up: int
+    bytes_down: int
+    loopback: bool
+
+    @property
+    def duration(self) -> float:
+        """Virtual seconds this round trip occupied."""
+        return self.finished_at - self.started_at
+
+
+class NetworkTrace:
+    """Thread-safe append-only log of simulated round trips."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._events: List[MessageEvent] = []
+
+    def record(self, event: MessageEvent) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def events(self) -> List[MessageEvent]:
+        """Snapshot of events in completion order."""
+        with self._lock:
+            return list(self._events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def __len__(self):
+        with self._lock:
+            return len(self._events)
+
+    def round_trips(self, include_loopback: bool = True) -> int:
+        """How many request/response pairs were traced."""
+        with self._lock:
+            if include_loopback:
+                return len(self._events)
+            return sum(1 for event in self._events if not event.loopback)
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(e.bytes_up + e.bytes_down for e in self._events)
+
+
+def render_sequence_diagram(trace: NetworkTrace, client: str = "client",
+                            server_label: str = "server") -> str:
+    """ASCII message chart in the style of the paper's Figure 1.
+
+    Loopback round trips (a host talking to itself — §4.4's stub calls)
+    render as self-arrows on the server's lifeline.
+    """
+    events = trace.events()
+    width = 34
+    lines = [
+        f"{client:<12}{'':{width}}{server_label}",
+        f"{'|':<12}{'':{width}}|",
+    ]
+    for index, event in enumerate(events, start=1):
+        stamp = f"t={event.started_at * 1e3:8.3f}ms"
+        if event.loopback:
+            lines.append(
+                f"{'|':<12}{'':{width}}|--. loopback "
+                f"({event.bytes_up}B) {stamp}"
+            )
+            lines.append(f"{'|':<12}{'':{width}}|<-'")
+            continue
+        arrow = "-" * (width - 2)
+        lines.append(
+            f"{'|':<12}{arrow}> [{index}] {event.bytes_up}B {stamp}"
+        )
+        lines.append(
+            f"{'|':<11}<{arrow}- {event.bytes_down}B "
+            f"(+{event.duration * 1e3:.3f}ms)"
+        )
+    lines.append(
+        f"{'':12}{trace.round_trips(include_loopback=False)} network round "
+        f"trip(s), {trace.total_bytes()} bytes total"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Transport abstraction: everything above this line is network-agnostic.
+
+A *transport* provides synchronous request/response channels between named
+endpoints.  Two implementations exist:
+
+- :class:`repro.net.sim.SimNetwork` — in-process, virtual-clock,
+  deterministic (benchmarks and most tests);
+- :class:`repro.net.tcp.TcpNetwork` — real threaded sockets over loopback
+  (integration tests and examples).
+
+The RMI layer additionally reports *charges* — middleware CPU events such
+as "exported a remote object" — through :meth:`Channel.charge`.  Real
+transports ignore them (real CPUs charge themselves); the simulator prices
+them into virtual time so the benchmark figures include middleware costs,
+not just wire time.
+"""
+
+from __future__ import annotations
+
+from repro.net.stats import TrafficStats
+
+
+class TransportError(Exception):
+    """Base class for transport-level failures (mirrors RemoteException
+    causes in RMI: refused connections, resets, injected faults)."""
+
+
+class ConnectError(TransportError):
+    """No listener at the requested address."""
+
+    def __init__(self, address):
+        self.address = address
+        super().__init__(f"cannot connect: no listener at {address!r}")
+
+
+class ConnectionClosedError(TransportError):
+    """The channel was closed (locally or by the peer) mid-conversation."""
+
+
+class FaultInjectedError(TransportError):
+    """A deliberately injected fault dropped this request."""
+
+
+class Channel:
+    """A client's synchronous request/response pipe to one listener."""
+
+    def __init__(self):
+        self.stats = TrafficStats()
+
+    def request(self, payload: bytes) -> bytes:
+        """Send *payload*, block until the peer's response arrives."""
+        raise NotImplementedError
+
+    def charge(self, kind: str, count: int = 1) -> None:
+        """Report a middleware CPU event (no-op on real transports)."""
+        self.stats.record_charge(kind, count)
+
+    def close(self) -> None:
+        """Release the channel; further requests raise ConnectionClosedError."""
+        raise NotImplementedError
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+
+class Listener:
+    """A server's presence at an address."""
+
+    def __init__(self, address: str):
+        self.address = address
+        self.stats = TrafficStats()
+
+    def close(self) -> None:
+        """Stop accepting requests at this address."""
+        raise NotImplementedError
+
+
+class Network:
+    """Factory for listeners and channels within one address space."""
+
+    def listen(self, address: str, handler) -> Listener:
+        """Serve ``handler(payload: bytes) -> bytes`` at *address*."""
+        raise NotImplementedError
+
+    def connect(self, address: str) -> Channel:
+        """Open a channel to the listener at *address*."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Tear down all listeners and channels."""
+        raise NotImplementedError
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+
+def host_of(address: str) -> str:
+    """Extract the host part of an ``scheme://host:port`` address.
+
+    Used by the simulator to decide whether a channel is loopback (same
+    host talking to itself, e.g. a server invoking a stub that points back
+    at its own object — the §4.4 identity scenario).
+    """
+    if "://" in address:
+        address = address.split("://", 1)[1]
+    host = address.split("/", 1)[0]
+    return host.rsplit(":", 1)[0] if ":" in host else host

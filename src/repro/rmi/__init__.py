@@ -1,0 +1,59 @@
+"""RMI substrate: the distributed-object middleware under BRMI."""
+
+from repro.rmi.client import RMIClient
+from repro.rmi.exceptions import (
+    AlreadyBoundError,
+    CommunicationError,
+    MarshalError,
+    NoSuchMethodError,
+    NoSuchObjectError,
+    NotBoundError,
+    NotExportedError,
+    RegistryError,
+    RemoteApplicationError,
+    RemoteError,
+)
+from repro.rmi.objects import ObjectTable
+from repro.rmi.protocol import INVOKE_BATCH, REGISTRY_OBJECT_ID, CallRequest, CallResponse
+from repro.rmi.registry import NamingRegistry, RegistryImpl
+from repro.rmi.remote import (
+    MethodSpec,
+    RemoteInterface,
+    RemoteObject,
+    interface_names,
+    lookup_interface,
+    remote_interfaces,
+    remote_methods,
+)
+from repro.rmi.server import RMIServer
+from repro.rmi.stub import Stub
+
+__all__ = [
+    "AlreadyBoundError",
+    "CallRequest",
+    "CallResponse",
+    "CommunicationError",
+    "INVOKE_BATCH",
+    "MarshalError",
+    "MethodSpec",
+    "NamingRegistry",
+    "NoSuchMethodError",
+    "NoSuchObjectError",
+    "NotBoundError",
+    "NotExportedError",
+    "ObjectTable",
+    "REGISTRY_OBJECT_ID",
+    "RegistryError",
+    "RegistryImpl",
+    "RemoteApplicationError",
+    "RemoteError",
+    "RemoteInterface",
+    "RemoteObject",
+    "RMIClient",
+    "RMIServer",
+    "Stub",
+    "interface_names",
+    "lookup_interface",
+    "remote_interfaces",
+    "remote_methods",
+]

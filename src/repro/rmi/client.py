@@ -1,0 +1,156 @@
+"""The client-side RMI runtime: connections, calls, stub fabrication.
+
+One :class:`RMIClient` owns a channel to one server.  Stubs created from
+refs pointing at *other* servers transparently get their own cached client
+(RMI's multi-server reference graph).  Passing a local
+:class:`~repro.rmi.remote.RemoteObject` as an argument requires a
+*callback server* — the client-side equivalent of RMI exporting a local
+object so the server can call back.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.net.transport import TransportError
+from repro.rmi.exceptions import CommunicationError, MarshalError
+from repro.rmi.marshal import MarshalContext, marshal_args, unmarshal
+from repro.rmi.protocol import REGISTRY_OBJECT_ID, CallRequest, CallResponse
+from repro.rmi.stub import Stub
+from repro.wire import decode, encode
+from repro.wire.refs import RemoteRef
+
+
+class RMIClient(MarshalContext):
+    """Synchronous RMI client bound to one server address."""
+
+    def __init__(self, network, address: str, from_host: str = "client",
+                 callback_server=None):
+        self._network = network
+        self._address = address
+        self._from_host = from_host
+        self._callback_server = callback_server
+        self._channel = network.connect(address, from_host)
+        self._peers = {}  # endpoint -> RMIClient for refs to other servers
+        self._lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def address(self) -> str:
+        return self._address
+
+    @property
+    def channel(self):
+        """The underlying transport channel (stats live here)."""
+        return self._channel
+
+    @property
+    def stats(self):
+        """Traffic counters for this client's own channel."""
+        return self._channel.stats
+
+    # -- MarshalContext ------------------------------------------------
+
+    def export(self, obj) -> RemoteRef:
+        if self._callback_server is None:
+            raise MarshalError(
+                f"cannot pass local object {type(obj).__name__} by "
+                "reference: client has no callback server (pass "
+                "callback_server= to RMIClient, or make the class "
+                "serializable to pass it by copy)"
+            )
+        return self._callback_server.export(obj)
+
+    def make_stub(self, ref: RemoteRef) -> Stub:
+        if ref.endpoint == self._address:
+            return Stub(ref, self.call, client=self)
+        peer = self._peer_for(ref.endpoint)
+        return Stub(ref, peer.call, client=peer)
+
+    def charge(self, kind: str, count: int = 1) -> None:
+        self._channel.charge(kind, count)
+
+    # -- calls ----------------------------------------------------------
+
+    def call(self, object_id: int, method: str, args=(), kwargs=None):
+        """Invoke a remote method and return its (unmarshalled) result.
+
+        Application exceptions raised by the remote body re-raise here as
+        themselves; middleware/transport failures raise
+        :class:`~repro.rmi.exceptions.RemoteError` subclasses.
+        """
+        wire_args, wire_kwargs = marshal_args(args, kwargs, self)
+        request = CallRequest(object_id, method, wire_args, wire_kwargs)
+        try:
+            payload = encode(request)
+        except Exception as exc:
+            raise MarshalError(f"cannot encode request: {exc}") from exc
+        try:
+            raw = self._channel.request(payload)
+        except TransportError as exc:
+            raise CommunicationError(
+                f"remote call {method!r} to {self._address!r} failed: {exc}"
+            ) from exc
+        try:
+            response = decode(raw)
+        except Exception as exc:
+            raise CommunicationError(
+                f"cannot decode response from {self._address!r}: {exc}"
+            ) from exc
+        if not isinstance(response, CallResponse):
+            raise CommunicationError(
+                f"unexpected response type {type(response).__name__}"
+            )
+        value = response.raise_or_return()
+        return unmarshal(value, self)
+
+    def lookup(self, name: str) -> Stub:
+        """Resolve *name* in the server's registry to a stub."""
+        result = self.call(REGISTRY_OBJECT_ID, "lookup", (name,))
+        if not isinstance(result, Stub):
+            raise CommunicationError(
+                f"registry returned {type(result).__name__} for {name!r}, "
+                "expected a remote reference"
+            )
+        return result
+
+    def list_names(self):
+        """All names bound in the server's registry."""
+        return self.call(REGISTRY_OBJECT_ID, "list_names", ())
+
+    def bind(self, name: str, stub_or_obj) -> None:
+        """Bind a name remotely (objects need a callback server)."""
+        self.call(REGISTRY_OBJECT_ID, "bind", (name, stub_or_obj))
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _peer_for(self, endpoint: str) -> "RMIClient":
+        with self._lock:
+            peer = self._peers.get(endpoint)
+            if peer is None:
+                peer = RMIClient(
+                    self._network,
+                    endpoint,
+                    from_host=self._from_host,
+                    callback_server=self._callback_server,
+                )
+                self._peers[endpoint] = peer
+            return peer
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            peers = list(self._peers.values())
+            self._peers.clear()
+        for peer in peers:
+            peer.close()
+        self._channel.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False

@@ -1,0 +1,120 @@
+"""Exception hierarchy of the RMI layer.
+
+Mirrors Java RMI's model (paper §2): remote calls can fail with a
+``RemoteException`` for communication and middleware errors, while
+application-level exceptions thrown by the remote method body propagate to
+the caller as themselves (when registered for the wire) or as a
+:class:`RemoteApplicationError` carrier otherwise.
+"""
+
+from __future__ import annotations
+
+from repro.wire.registry import register_exception
+
+
+@register_exception
+class RemoteError(Exception):
+    """Base for all middleware-raised failures (``RemoteException`` in RMI).
+
+    Application exceptions are *not* subclasses of this: they pass through
+    the middleware untouched, exactly as a declared ``throws`` exception
+    does in Java RMI.
+    """
+
+
+@register_exception
+class CommunicationError(RemoteError):
+    """The transport failed: connection refused, reset, injected fault.
+
+    With explicit batching these surface from ``flush()``, the only call
+    that talks to the network (paper §3.3).
+    """
+
+
+@register_exception
+class NoSuchObjectError(RemoteError):
+    """The request named an object id absent from the server's table."""
+
+    def __init__(self, object_id):
+        self.object_id = object_id
+        super().__init__(object_id)
+
+    def __str__(self):
+        return f"no exported object with id {self.object_id}"
+
+
+@register_exception
+class NoSuchMethodError(RemoteError):
+    """The request named a method the target's remote interfaces lack.
+
+    Also raised when a client tries to invoke a method that exists on the
+    implementation class but is not declared in any remote interface —
+    RMI's rule that clients may call remote objects only through their
+    remote interfaces.
+    """
+
+    def __init__(self, method, interfaces=()):
+        self.method = method
+        self.interfaces = tuple(interfaces)
+        super().__init__(method, self.interfaces)
+
+    def __str__(self):
+        where = " or ".join(self.interfaces) or "any remote interface"
+        return f"method {self.method!r} is not declared in {where}"
+
+
+@register_exception
+class MarshalError(RemoteError):
+    """A parameter or return value could not cross the wire."""
+
+
+@register_exception
+class NotExportedError(RemoteError):
+    """A remote object was used before being exported by a server."""
+
+
+@register_exception
+class RemoteApplicationError(RemoteError):
+    """Carrier for a server-side exception whose class is not registered.
+
+    Keeps the original qualified class name and args so the client can
+    still make sense of the failure (and tests can assert on it).
+    """
+
+    def __init__(self, original_class, original_args=()):
+        self.original_class = original_class
+        self.original_args = tuple(original_args)
+        super().__init__(original_class, self.original_args)
+
+    def __str__(self):
+        rendered = ", ".join(repr(arg) for arg in self.original_args)
+        return f"remote raised {self.original_class}({rendered})"
+
+
+@register_exception
+class RegistryError(RemoteError):
+    """Naming-service failures (unknown or duplicate names)."""
+
+
+@register_exception
+class NotBoundError(RegistryError):
+    """Lookup of a name with no binding."""
+
+    def __init__(self, name):
+        self.name = name
+        super().__init__(name)
+
+    def __str__(self):
+        return f"no object bound under name {self.name!r}"
+
+
+@register_exception
+class AlreadyBoundError(RegistryError):
+    """Bind over an existing name (use rebind to replace)."""
+
+    def __init__(self, name):
+        self.name = name
+        super().__init__(name)
+
+    def __str__(self):
+        return f"name {self.name!r} is already bound"

@@ -1,0 +1,94 @@
+"""The server's exported-object table.
+
+Maps small integer ids to live objects, like the object table inside a
+Java RMI runtime.  Exporting is idempotent per object — re-exporting hands
+back the same ref, so reference equality survives repeated marshalling of
+the same remote object.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.rmi.exceptions import NoSuchObjectError
+from repro.rmi.remote import RemoteObject, interface_names
+from repro.wire.refs import RemoteRef
+
+
+class ObjectTable:
+    """Thread-safe id ↔ object mapping for one server."""
+
+    def __init__(self, endpoint: str):
+        self._endpoint = endpoint
+        self._lock = threading.Lock()
+        self._by_id = {}
+        self._by_identity = {}  # id(obj) -> (object_id, obj); obj kept alive
+        self._next_id = 0
+
+    @property
+    def endpoint(self) -> str:
+        return self._endpoint
+
+    def export(self, obj) -> RemoteRef:
+        """Assign *obj* an id (or reuse its existing one) and return a ref."""
+        if not isinstance(obj, RemoteObject):
+            raise TypeError(
+                f"{type(obj).__name__} is not a RemoteObject; only remote "
+                "objects can be exported"
+            )
+        names = interface_names(obj)
+        if not names:
+            raise TypeError(
+                f"{type(obj).__name__} implements no RemoteInterface; "
+                "nothing for a client to call"
+            )
+        with self._lock:
+            existing = self._by_identity.get(id(obj))
+            if existing is not None:
+                object_id = existing[0]
+            else:
+                object_id = self._next_id
+                self._next_id += 1
+                self._by_id[object_id] = obj
+                self._by_identity[id(obj)] = (object_id, obj)
+            ref = RemoteRef(self._endpoint, object_id, names)
+            obj._exported_ref = ref
+            return ref
+
+    def lookup(self, object_id: int):
+        """Fetch the live object for an id; raise if absent."""
+        with self._lock:
+            obj = self._by_id.get(object_id)
+        if obj is None:
+            raise NoSuchObjectError(object_id)
+        return obj
+
+    def ref_of(self, obj) -> RemoteRef:
+        """The ref of an already-exported object; raise if not exported."""
+        with self._lock:
+            entry = self._by_identity.get(id(obj))
+        if entry is None:
+            from repro.rmi.exceptions import NotExportedError
+
+            raise NotExportedError(
+                f"{type(obj).__name__} instance was never exported"
+            )
+        return RemoteRef(self._endpoint, entry[0], interface_names(obj))
+
+    def is_exported(self, obj) -> bool:
+        """Whether *obj* currently has a table entry."""
+        with self._lock:
+            return id(obj) in self._by_identity
+
+    def unexport(self, obj) -> None:
+        """Remove *obj*; later calls to its id raise NoSuchObjectError."""
+        with self._lock:
+            entry = self._by_identity.pop(id(obj), None)
+            if entry is not None:
+                self._by_id.pop(entry[0], None)
+        if isinstance(obj, RemoteObject):
+            obj._exported_ref = None
+
+    def __len__(self):
+        with self._lock:
+            return len(self._by_id)

@@ -1,0 +1,66 @@
+"""RMI protocol messages.
+
+Only two message shapes exist, because batching rides on plain RMI: the
+server treats ``__invoke_batch__`` as a method available on every exported
+object (the paper adds ``invokeBatch`` to ``UnicastRemoteObject``), so a
+batch is just a ``CallRequest`` whose args carry the recorded invocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.wire.registry import serializable
+
+#: Pseudo-method name the batching layer invokes on the root object.
+INVOKE_BATCH = "__invoke_batch__"
+
+#: Object id at which every server exports its naming registry.
+REGISTRY_OBJECT_ID = 0
+
+
+@serializable
+@dataclass(frozen=True)
+class CallRequest:
+    """One remote invocation: which object, which method, which arguments.
+
+    Arguments and keyword values are already marshalled (wire-safe) by the
+    time a request is constructed.
+    """
+
+    object_id: int
+    method: str
+    args: Tuple = ()
+    kwargs: Dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not isinstance(self.object_id, int) or self.object_id < 0:
+            raise ValueError(f"bad object id: {self.object_id!r}")
+        if not self.method or not isinstance(self.method, str):
+            raise ValueError(f"bad method name: {self.method!r}")
+        object.__setattr__(self, "args", tuple(self.args))
+
+
+@serializable
+@dataclass(frozen=True)
+class CallResponse:
+    """Result of one remote invocation.
+
+    ``is_error`` distinguishes a *returned* exception object (legal data)
+    from a *raised* one.
+    """
+
+    value: object = None
+    is_error: bool = False
+
+    def raise_or_return(self):
+        """Raise the carried exception, or hand back the value."""
+        if self.is_error:
+            if isinstance(self.value, BaseException):
+                raise self.value
+            # A malformed error payload should still fail loudly.
+            from repro.rmi.exceptions import RemoteError
+
+            raise RemoteError(f"malformed error response: {self.value!r}")
+        return self.value

@@ -1,0 +1,86 @@
+"""The naming service: RMI Registry analogue.
+
+Every server hosts one registry instance at well-known object id 0
+(:data:`repro.rmi.protocol.REGISTRY_OBJECT_ID`), so bootstrap needs no
+side channel: a fresh client can always call ``lookup`` on id 0, exactly
+like ``Naming.lookup`` against an RMI registry (paper §2).
+
+The registry is itself a remote object, so remote ``bind`` works too —
+the bound value arrives as a stub, which is stored and handed back to
+later lookers-up.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List
+
+from repro.rmi.exceptions import AlreadyBoundError, NotBoundError
+from repro.rmi.remote import RemoteInterface, RemoteObject
+
+
+class NamingRegistry(RemoteInterface):
+    """Remote interface of the naming service."""
+
+    def lookup(self, name: str) -> RemoteInterface:
+        """Return the remote object bound under *name*."""
+        ...
+
+    def bind(self, name: str, target: RemoteInterface) -> None:
+        """Bind *name*; raises AlreadyBoundError if taken."""
+        ...
+
+    def rebind(self, name: str, target: RemoteInterface) -> None:
+        """Bind *name*, replacing any existing binding."""
+        ...
+
+    def unbind(self, name: str) -> None:
+        """Remove the binding; raises NotBoundError if absent."""
+        ...
+
+    def list_names(self) -> List[str]:
+        """All currently bound names, sorted."""
+        ...
+
+
+class RegistryImpl(RemoteObject, NamingRegistry):
+    """In-memory, thread-safe implementation hosted by every server."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._bindings = {}
+
+    def lookup(self, name: str) -> RemoteInterface:
+        with self._lock:
+            if name not in self._bindings:
+                raise NotBoundError(name)
+            return self._bindings[name]
+
+    def bind(self, name: str, target: RemoteInterface) -> None:
+        self._validate(name, target)
+        with self._lock:
+            if name in self._bindings:
+                raise AlreadyBoundError(name)
+            self._bindings[name] = target
+
+    def rebind(self, name: str, target: RemoteInterface) -> None:
+        self._validate(name, target)
+        with self._lock:
+            self._bindings[name] = target
+
+    def unbind(self, name: str) -> None:
+        with self._lock:
+            if name not in self._bindings:
+                raise NotBoundError(name)
+            del self._bindings[name]
+
+    def list_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._bindings)
+
+    @staticmethod
+    def _validate(name, target):
+        if not name or not isinstance(name, str):
+            raise ValueError(f"registry names must be non-empty strings: {name!r}")
+        if target is None:
+            raise ValueError("cannot bind None")

@@ -1,0 +1,227 @@
+"""Remote interfaces and remote objects.
+
+The shape mirrors Java RMI (paper §2):
+
+- a *remote interface* declares the methods callable across the network —
+  here, a subclass of :class:`RemoteInterface` with annotated methods;
+- a *remote object* is a server-side implementation — a class deriving
+  from both :class:`RemoteObject` (the ``UnicastRemoteObject`` analogue)
+  and its remote interfaces;
+- clients hold *stubs* and may only invoke methods declared on a remote
+  interface.
+
+Return-type annotations matter: the BRMI interface-derivation tool (paper
+§3.2) reads them to decide whether a batched call yields a ``Future``, a
+nested batch proxy (remote return), or a cursor (array-of-remote return).
+
+Example::
+
+    class File(RemoteInterface):
+        def get_name(self) -> str: ...
+        def get_size(self) -> int: ...
+
+    class Directory(RemoteInterface):
+        def get_file(self, name: str) -> File: ...
+        def all_files(self) -> list[File]: ...
+"""
+
+from __future__ import annotations
+
+import collections.abc
+import inspect
+import threading
+import typing
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: Method names reserved by the batching layer; a remote interface must
+#: not declare them or batch proxies would shadow real remote methods.
+RESERVED_METHOD_NAMES = frozenset(
+    {"flush", "flush_and_continue", "ok", "next"}
+)
+
+_interface_registry = {}
+_registry_lock = threading.Lock()
+
+
+def qualified_name(cls) -> str:
+    """Wire name of an interface class."""
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+class RemoteObject:
+    """Base class for server-side remote objects (``UnicastRemoteObject``).
+
+    Carries the export bookkeeping a server fills in.  Like in RMI, every
+    remote object implicitly supports batched invocation: the server's
+    dispatcher accepts ``__invoke_batch__`` on any exported object (the
+    paper adds ``invokeBatch`` to ``UnicastRemoteObject``, §4.2).
+    """
+
+    _exported_ref = None  # set by ObjectTable.export
+
+
+class RemoteInterface:
+    """Base marker for remote interfaces.
+
+    Subclasses are automatically registered by qualified name so refs
+    arriving over the wire can be matched back to interface metadata.
+    Classes that also derive :class:`RemoteObject` are implementations,
+    not interfaces, and are excluded from the registry and from
+    ``remote_interfaces``.
+    """
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        if issubclass(cls, RemoteObject):
+            return  # an implementation class, not an interface
+        for name in vars(cls):
+            if name in RESERVED_METHOD_NAMES:
+                raise TypeError(
+                    f"remote interface {cls.__name__} declares reserved "
+                    f"method name {name!r} (reserved for the batch API)"
+                )
+        with _registry_lock:
+            _interface_registry[qualified_name(cls)] = cls
+
+
+def lookup_interface(name: str):
+    """Resolve a registered interface class from its qualified name."""
+    with _registry_lock:
+        cls = _interface_registry.get(name)
+    if cls is None:
+        raise KeyError(f"remote interface {name!r} is not registered")
+    return cls
+
+
+def remote_interfaces(obj_or_cls) -> Tuple[type, ...]:
+    """All remote interfaces implemented by an object or class.
+
+    Excludes the :class:`RemoteInterface` base itself; preserves MRO
+    order (most derived first).
+    """
+    cls = obj_or_cls if isinstance(obj_or_cls, type) else type(obj_or_cls)
+    return tuple(
+        base
+        for base in cls.__mro__
+        if base is not RemoteInterface
+        and isinstance(base, type)
+        and issubclass(base, RemoteInterface)
+        and not issubclass(base, RemoteObject)
+    )
+
+
+def interface_names(obj_or_cls) -> Tuple[str, ...]:
+    """Qualified names of all remote interfaces of an object or class."""
+    return tuple(qualified_name(iface) for iface in remote_interfaces(obj_or_cls))
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """Metadata for one remote method, derived from annotations.
+
+    ``returns_kind`` is one of:
+
+    - ``"value"``  — plain data, becomes ``Future[T]`` in a batch;
+    - ``"remote"`` — a remote interface, becomes a nested batch proxy;
+    - ``"cursor"`` — a sequence of a remote interface, becomes a cursor.
+    """
+
+    name: str
+    returns_kind: str
+    returns_interface: Optional[str]  # qualified name when remote/cursor
+    doc: str = ""
+
+    def __post_init__(self):
+        if self.returns_kind not in ("value", "remote", "cursor"):
+            raise ValueError(f"bad returns_kind {self.returns_kind!r}")
+        if self.returns_kind != "value" and not self.returns_interface:
+            raise ValueError(f"{self.name}: {self.returns_kind} needs an interface")
+
+
+def _classify_return(annotation):
+    """Map a return annotation to (kind, interface_qualified_name)."""
+    if annotation is None or annotation is inspect.Signature.empty:
+        return "value", None
+    if isinstance(annotation, type):
+        if annotation is not RemoteInterface and issubclass(
+            annotation, RemoteInterface
+        ):
+            return "remote", qualified_name(annotation)
+        return "value", None
+    origin = typing.get_origin(annotation)
+    # Arrays of remote interfaces become cursors (§3.2); per §3.4 this
+    # "can also be extended to ... any collection object whose class
+    # implements Iterable", so generic iterables qualify too.
+    if origin in (
+        list,
+        tuple,
+        collections.abc.Sequence,
+        collections.abc.Iterable,
+        collections.abc.Iterator,
+    ):
+        args = [a for a in typing.get_args(annotation) if a is not Ellipsis]
+        if (
+            len(args) == 1
+            and isinstance(args[0], type)
+            and issubclass(args[0], RemoteInterface)
+        ):
+            return "cursor", qualified_name(args[0])
+    return "value", None
+
+
+def remote_methods(iface) -> "dict[str, MethodSpec]":
+    """Extract :class:`MethodSpec` for every method of a remote interface.
+
+    Walks the MRO so extended interfaces inherit their parents' methods;
+    private names (leading underscore) are not remote.
+    """
+    if not (isinstance(iface, type) and issubclass(iface, RemoteInterface)):
+        raise TypeError(f"{iface!r} is not a remote interface class")
+    # Forward references in interfaces defined inside functions (common
+    # in tests) cannot be resolved through module globals alone; the
+    # interface registry provides every known interface by simple name.
+    with _registry_lock:
+        registry_names = {
+            cls.__name__: cls for cls in _interface_registry.values()
+        }
+    try:
+        hints_by_method = {}
+        for base in reversed(iface.__mro__):
+            if base in (object, RemoteInterface):
+                continue
+            for name, member in vars(base).items():
+                if name.startswith("_") or not callable(member):
+                    continue
+                hints = typing.get_type_hints(member, localns=registry_names)
+                hints_by_method[name] = (member, hints.get("return"))
+    except Exception as exc:  # unresolvable annotations
+        raise TypeError(f"cannot resolve annotations of {iface.__name__}: {exc}")
+
+    specs = {}
+    for name, (member, annotation) in hints_by_method.items():
+        kind, target = _classify_return(annotation)
+        specs[name] = MethodSpec(
+            name=name,
+            returns_kind=kind,
+            returns_interface=target,
+            doc=inspect.getdoc(member) or "",
+        )
+    return specs
+
+
+def methods_of_names(interface_qualified_names) -> "dict[str, MethodSpec]":
+    """Union of method specs across several interface names.
+
+    Used by stubs, which know their interfaces only as the names carried
+    by the ref.  Unregistered names are skipped (the peer may export
+    interfaces this process never imported).
+    """
+    specs = {}
+    for name in interface_qualified_names:
+        try:
+            iface = lookup_interface(name)
+        except KeyError:
+            continue
+        specs.update(remote_methods(iface))
+    return specs

@@ -1,0 +1,213 @@
+"""The server-side RMI runtime.
+
+An :class:`RMIServer` owns an object table, a naming registry at object
+id 0, and a listener on its transport.  Dispatch enforces the remote-
+interface boundary (only declared methods are callable), applies the
+marshalling rules both ways, and — because every exported object supports
+batched invocation, like the paper's extended ``UnicastRemoteObject`` —
+routes ``__invoke_batch__`` to the BRMI executor.
+
+The executor is imported lazily so the RMI substrate stays usable without
+the batching layer (and to keep the package dependency graph acyclic).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.net.transport import host_of
+from repro.rmi.exceptions import MarshalError, NoSuchMethodError
+from repro.rmi.marshal import MarshalContext, marshal, unmarshal
+from repro.rmi.objects import ObjectTable
+from repro.rmi.protocol import (
+    INVOKE_BATCH,
+    REGISTRY_OBJECT_ID,
+    CallRequest,
+    CallResponse,
+)
+from repro.rmi.registry import RegistryImpl
+from repro.rmi.remote import interface_names, remote_interfaces, remote_methods
+from repro.rmi.stub import Stub
+from repro.wire import decode, encode
+from repro.wire.refs import RemoteRef
+
+
+class RMIServer(MarshalContext):
+    """One exported-object space reachable at one address."""
+
+    def __init__(self, network, address: str):
+        self._network = network
+        self._address = address
+        self.host = host_of(address)
+        self._objects = ObjectTable(address)
+        self._registry = RegistryImpl()
+        self._listener = None
+        self._loopback_clients = {}
+        self._batch_executor = None
+        self._lock = threading.Lock()
+        # The registry must land at the well-known id before anything else.
+        ref = self._objects.export(self._registry)
+        assert ref.object_id == REGISTRY_OBJECT_ID
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        return self._address
+
+    @property
+    def registry(self) -> RegistryImpl:
+        """Direct (local) access to the naming registry."""
+        return self._registry
+
+    @property
+    def objects(self) -> ObjectTable:
+        """The exported-object table (tests and the executor use this)."""
+        return self._objects
+
+    @property
+    def stats(self):
+        """Aggregate traffic counters across all accepted requests."""
+        self._require_started()
+        return self._listener.stats
+
+    def start(self) -> "RMIServer":
+        """Begin serving; returns self so construction can chain.
+
+        Supports ephemeral addresses (e.g. ``tcp://127.0.0.1:0``): the
+        transport resolves the real port and the server adopts it, so
+        refs minted afterwards carry the reachable endpoint.
+        """
+        if self._listener is not None:
+            raise RuntimeError(f"server at {self._address!r} already started")
+        self._listener = self._network.listen(self._address, self._handle)
+        if self._listener.address != self._address:
+            self._address = self._listener.address
+            self.host = host_of(self._address)
+            self._objects._endpoint = self._address
+        return self
+
+    def close(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        with self._lock:
+            clients = list(self._loopback_clients.values())
+            self._loopback_clients.clear()
+        for client in clients:
+            client.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    # -- exporting and binding -------------------------------------------
+
+    def export(self, obj) -> RemoteRef:
+        """Make *obj* remotely reachable; idempotent per object."""
+        return self._objects.export(obj)
+
+    def bind(self, name: str, obj) -> RemoteRef:
+        """Export *obj* and register it in the naming service."""
+        ref = self.export(obj)
+        self._registry.rebind(name, obj)
+        return ref
+
+    # -- MarshalContext ----------------------------------------------------
+
+    def make_stub(self, ref: RemoteRef) -> Stub:
+        """Build a stub for an incoming ref.
+
+        Deliberately mirrors the Java RMI quirk of §4.4: even when the ref
+        points at an object in *this* server, the caller gets a loopback
+        stub that re-enters through the transport — it does NOT get the
+        local object back.  The BRMI executor bypasses this by resolving
+        batch-local references through its own table.
+        """
+        client = self._loopback_client(ref.endpoint)
+        return client.make_stub(ref)
+
+    def charge(self, kind: str, count: int = 1) -> None:
+        if self._listener is not None:
+            self._listener.charge(kind, count)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _handle(self, payload: bytes) -> bytes:
+        """Transport handler: one request in, one response out.
+
+        Must never raise — every failure becomes an error response.
+        """
+        try:
+            request = decode(payload)
+            if not isinstance(request, CallRequest):
+                raise MarshalError(
+                    f"expected CallRequest, got {type(request).__name__}"
+                )
+        except Exception as exc:
+            return self._encode_response(
+                CallResponse(MarshalError(f"undecodable request: {exc}"), True)
+            )
+        try:
+            value = self._dispatch(request)
+            response = CallResponse(value, False)
+        except Exception as exc:  # noqa: BLE001 - everything crosses the wire
+            response = CallResponse(exc, True)
+        return self._encode_response(response)
+
+    def _dispatch(self, request: CallRequest):
+        target = self._objects.lookup(request.object_id)
+        if request.method == INVOKE_BATCH:
+            executor = self._batch_executor_instance()
+            return executor.invoke_batch(target, *request.args)
+        specs = self._method_specs(target)
+        if request.method not in specs:
+            raise NoSuchMethodError(request.method, interface_names(target))
+        args = unmarshal(request.args, self)
+        kwargs = unmarshal(request.kwargs, self)
+        method = getattr(target, request.method)
+        result = method(*args, **kwargs)
+        return marshal(result, self)
+
+    def _method_specs(self, target):
+        specs = {}
+        for iface in remote_interfaces(target):
+            specs.update(remote_methods(iface))
+        return specs
+
+    def _encode_response(self, response: CallResponse) -> bytes:
+        try:
+            return encode(response)
+        except Exception as exc:
+            # The value (or exception) would not encode; degrade to a
+            # marshalling error the client can decode for sure.
+            fallback = CallResponse(
+                MarshalError(f"response not encodable: {exc}"), True
+            )
+            return encode(fallback)
+
+    # -- internals --------------------------------------------------------
+
+    def _batch_executor_instance(self):
+        if self._batch_executor is None:
+            from repro.core.executor import BatchExecutor
+
+            self._batch_executor = BatchExecutor(self)
+        return self._batch_executor
+
+    def _loopback_client(self, endpoint: str):
+        from repro.rmi.client import RMIClient
+
+        with self._lock:
+            client = self._loopback_clients.get(endpoint)
+            if client is None:
+                client = RMIClient(self._network, endpoint, from_host=self.host)
+                self._loopback_clients[endpoint] = client
+            return client
+
+    def _require_started(self):
+        if self._listener is None:
+            raise RuntimeError(f"server at {self._address!r} is not started")

@@ -1,0 +1,104 @@
+"""Client-side stubs: dynamic proxies for remote objects.
+
+A stub implements the remote interface and forwards invocations to its
+server (paper §2).  Python needs no generated classes — ``__getattr__``
+resolves remote methods against the interface metadata carried by the ref,
+refusing anything not declared remotely (RMI's rule that clients call
+remote objects only through remote interfaces).
+
+Stub equality is remote identity: two stubs are equal iff they name the
+same object slot on the same server, regardless of which proxy instance
+the client happens to hold.
+"""
+
+from __future__ import annotations
+
+from repro.rmi.exceptions import NoSuchMethodError
+from repro.rmi.remote import methods_of_names
+from repro.wire.refs import RemoteRef
+
+
+class Stub:
+    """Dynamic proxy bound to one remote object.
+
+    *invoker* is ``callable(object_id, method, args, kwargs) -> value``,
+    supplied by the owning :class:`~repro.rmi.client.RMIClient`.
+    """
+
+    __slots__ = ("_ref", "_invoker", "_client", "_methods")
+
+    def __init__(self, ref: RemoteRef, invoker, client=None):
+        object.__setattr__(self, "_ref", ref)
+        object.__setattr__(self, "_invoker", invoker)
+        object.__setattr__(self, "_client", client)
+        object.__setattr__(self, "_methods", methods_of_names(ref.interfaces))
+
+    @property
+    def owner_client(self):
+        """The RMIClient whose channel this stub calls through (if known).
+
+        The batching layer uses it to marshal recorded arguments and to
+        send the batch over the same connection the stub would use.
+        """
+        return self._client
+
+    @property
+    def remote_ref(self) -> RemoteRef:
+        """The wire-level identity of the referenced object."""
+        return self._ref
+
+    def provides(self, interface) -> bool:
+        """Whether the remote object declared *interface* (class or name)."""
+        name = interface if isinstance(interface, str) else (
+            f"{interface.__module__}.{interface.__qualname__}"
+        )
+        return self._ref.provides(name)
+
+    def method_spec(self, name):
+        """Interface metadata for one method (used by the batching layer)."""
+        spec = self._methods.get(name)
+        if spec is None:
+            raise NoSuchMethodError(name, self._ref.interfaces)
+        return spec
+
+    def method_specs(self):
+        """All remote method specs known for this stub's interfaces."""
+        return dict(self._methods)
+
+    def __getattr__(self, name):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        if self._methods and name not in self._methods:
+            raise NoSuchMethodError(name, self._ref.interfaces)
+        # When none of the ref's interfaces are registered locally we have
+        # no metadata to validate against; allow the call and let the
+        # server enforce its interfaces (it always does).
+        return _BoundRemoteMethod(self, name)
+
+    def __eq__(self, other):
+        if isinstance(other, Stub):
+            return self._ref == other._ref
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(self._ref)
+
+    def __repr__(self):
+        return f"<Stub for {self._ref!r}>"
+
+
+class _BoundRemoteMethod:
+    """One remote method bound to a stub, ready to invoke."""
+
+    __slots__ = ("_stub", "_name")
+
+    def __init__(self, stub: Stub, name: str):
+        self._stub = stub
+        self._name = name
+
+    def __call__(self, *args, **kwargs):
+        stub = self._stub
+        return stub._invoker(stub._ref.object_id, self._name, args, kwargs)
+
+    def __repr__(self):
+        return f"<remote method {self._name} of {self._stub._ref!r}>"

@@ -1,0 +1,54 @@
+"""Wire format: the serialization substrate under the RMI layer.
+
+Public surface:
+
+- :func:`encode` / :func:`decode` — one value to/from bytes
+- :func:`encode_many` / :func:`decode_many` — packed sequences
+- :func:`serializable` — register a class for pass-by-copy
+- :func:`register_exception` — register an exception for faithful transfer
+- :class:`RemoteRef` — the wire-native remote reference
+- :func:`frame` / :func:`read_frame` / :class:`FrameBuffer` — stream framing
+"""
+
+from repro.wire.decoder import Decoder, decode, decode_many
+from repro.wire.encoder import Encoder, encode, encode_many
+from repro.wire.errors import (
+    DecodeError,
+    EncodeError,
+    TruncatedError,
+    UnknownTagError,
+    UnregisteredClassError,
+    WireError,
+)
+from repro.wire.framing import FrameBuffer, FrameTooLargeError, frame, read_frame
+from repro.wire.refs import RemoteRef
+from repro.wire.registry import (
+    register_exception,
+    registered_classes,
+    registered_exceptions,
+    serializable,
+)
+
+__all__ = [
+    "Decoder",
+    "DecodeError",
+    "Encoder",
+    "EncodeError",
+    "FrameBuffer",
+    "FrameTooLargeError",
+    "RemoteRef",
+    "TruncatedError",
+    "UnknownTagError",
+    "UnregisteredClassError",
+    "WireError",
+    "decode",
+    "decode_many",
+    "encode",
+    "encode_many",
+    "frame",
+    "read_frame",
+    "register_exception",
+    "registered_classes",
+    "registered_exceptions",
+    "serializable",
+]

@@ -1,0 +1,170 @@
+"""Decoder for the tagged binary wire format.
+
+Mirror of :mod:`repro.wire.encoder`.  The decoder is defensive: it bounds
+nesting depth, validates lengths against the remaining buffer before
+allocating, and raises :class:`~repro.wire.errors.DecodeError` subclasses
+rather than arbitrary exceptions on malformed input.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.wire import registry
+from repro.wire.encoder import (
+    TAG_BIGINT,
+    TAG_BYTES,
+    TAG_DICT,
+    TAG_EXCEPTION,
+    TAG_FALSE,
+    TAG_FLOAT,
+    TAG_FROZENSET,
+    TAG_INT64,
+    TAG_LIST,
+    TAG_NONE,
+    TAG_OBJECT,
+    TAG_REMOTE_REF,
+    TAG_SET,
+    TAG_STR,
+    TAG_TRUE,
+    TAG_TUPLE,
+)
+from repro.wire.errors import DecodeError, TruncatedError, UnknownTagError
+from repro.wire.refs import RemoteRef
+
+_MAX_DEPTH = 100
+
+_u32 = struct.Struct(">I")
+_i64 = struct.Struct(">q")
+_f64 = struct.Struct(">d")
+
+
+class Decoder:
+    """Pulls values off a byte buffer, tracking an offset."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        """Bytes not yet consumed."""
+        return len(self._data) - self._pos
+
+    def at_end(self) -> bool:
+        """Whether the whole buffer has been consumed."""
+        return self._pos >= len(self._data)
+
+    def decode(self):
+        """Decode and return the next value from the buffer."""
+        return self._decode(0)
+
+    # -- internals ---------------------------------------------------
+
+    def _take(self, count):
+        if self.remaining < count:
+            raise TruncatedError(count, self.remaining)
+        chunk = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return chunk
+
+    def _take_length(self):
+        (length,) = _u32.unpack(self._take(4))
+        if length > self.remaining:
+            raise TruncatedError(length, self.remaining)
+        return length
+
+    def _decode(self, depth):
+        if depth > _MAX_DEPTH:
+            raise DecodeError(f"nesting deeper than {_MAX_DEPTH}")
+        tag = self._take(1)
+        if tag == TAG_NONE:
+            return None
+        if tag == TAG_TRUE:
+            return True
+        if tag == TAG_FALSE:
+            return False
+        if tag == TAG_INT64:
+            return _i64.unpack(self._take(8))[0]
+        if tag == TAG_BIGINT:
+            length = self._take_length()
+            sign = self._take(1)[0]
+            magnitude = int.from_bytes(self._take(length), "big")
+            return -magnitude if sign else magnitude
+        if tag == TAG_FLOAT:
+            return _f64.unpack(self._take(8))[0]
+        if tag == TAG_STR:
+            length = self._take_length()
+            try:
+                return self._take(length).decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise DecodeError(f"invalid utf-8 in string payload: {exc}")
+        if tag == TAG_BYTES:
+            return bytes(self._take(self._take_length()))
+        if tag == TAG_LIST:
+            return self._decode_items(depth)
+        if tag == TAG_TUPLE:
+            return tuple(self._decode_items(depth))
+        if tag == TAG_SET:
+            return set(self._decode_items(depth))
+        if tag == TAG_FROZENSET:
+            return frozenset(self._decode_items(depth))
+        if tag == TAG_DICT:
+            (count,) = _u32.unpack(self._take(4))
+            result = {}
+            for _ in range(count):
+                key = self._decode(depth + 1)
+                result[key] = self._decode(depth + 1)
+            return result
+        if tag == TAG_OBJECT:
+            class_name = self._expect_str(depth)
+            fields = self._decode(depth + 1)
+            if not isinstance(fields, dict):
+                raise DecodeError("object payload must be a dict of fields")
+            return registry.object_from_wire(class_name, fields)
+        if tag == TAG_EXCEPTION:
+            class_name = self._expect_str(depth)
+            args = self._decode(depth + 1)
+            if not isinstance(args, tuple):
+                raise DecodeError("exception payload must be a tuple of args")
+            return registry.exception_from_wire(class_name, args)
+        if tag == TAG_REMOTE_REF:
+            endpoint = self._expect_str(depth)
+            object_id = self._decode(depth + 1)
+            interfaces = self._decode(depth + 1)
+            if not isinstance(object_id, int) or not isinstance(interfaces, tuple):
+                raise DecodeError("malformed remote reference payload")
+            return RemoteRef(endpoint, object_id, interfaces)
+        raise UnknownTagError(tag, self._pos - 1)
+
+    def _decode_items(self, depth):
+        (count,) = _u32.unpack(self._take(4))
+        # Each item needs at least one tag byte; reject absurd counts
+        # before allocating.
+        if count > self.remaining:
+            raise TruncatedError(count, self.remaining)
+        return [self._decode(depth + 1) for _ in range(count)]
+
+    def _expect_str(self, depth):
+        value = self._decode(depth + 1)
+        if not isinstance(value, str):
+            raise DecodeError(f"expected string, found {type(value).__name__}")
+        return value
+
+
+def decode(data: bytes):
+    """Decode exactly one value; trailing bytes are an error."""
+    dec = Decoder(data)
+    value = dec.decode()
+    if not dec.at_end():
+        raise DecodeError(f"{dec.remaining} trailing bytes after value")
+    return value
+
+
+def decode_many(data: bytes):
+    """Decode all values packed back-to-back in *data*."""
+    dec = Decoder(data)
+    values = []
+    while not dec.at_end():
+        values.append(dec.decode())
+    return values

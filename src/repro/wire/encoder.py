@@ -1,0 +1,201 @@
+"""Tagged binary encoder for the wire format.
+
+The format is a simple self-describing TLV scheme: every value starts with
+a one-byte tag, followed by a fixed or length-prefixed payload.  It exists
+so the simulated network can account for bytes honestly and so the TCP
+transport has a real codec — the same role Java serialization plays under
+Java RMI in the paper.
+
+Supported values: ``None``, ``bool``, ``int`` (arbitrary precision),
+``float``, ``str``, ``bytes``, ``list``, ``tuple``, ``dict``, ``set``,
+``frozenset``, registered serializable objects (see
+:mod:`repro.wire.registry`), exceptions, and :class:`~repro.wire.refs.RemoteRef`.
+
+All multi-byte integers are big-endian.  Container lengths are u32.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.wire import registry
+from repro.wire.errors import EncodeError
+from repro.wire.refs import RemoteRef
+
+# One tag byte per supported shape.  Kept as module constants so the
+# decoder and tests can reference them by name.
+TAG_NONE = b"N"
+TAG_TRUE = b"T"
+TAG_FALSE = b"F"
+TAG_INT64 = b"I"
+TAG_BIGINT = b"J"
+TAG_FLOAT = b"D"
+TAG_STR = b"S"
+TAG_BYTES = b"B"
+TAG_LIST = b"L"
+TAG_TUPLE = b"U"
+TAG_DICT = b"M"
+TAG_SET = b"E"
+TAG_FROZENSET = b"G"
+TAG_OBJECT = b"O"
+TAG_EXCEPTION = b"X"
+TAG_REMOTE_REF = b"R"
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+_MAX_DEPTH = 100
+
+_u32 = struct.Struct(">I")
+_i64 = struct.Struct(">q")
+_f64 = struct.Struct(">d")
+
+
+class Encoder:
+    """Streams values into an internal buffer.
+
+    One encoder instance per message; call :meth:`encode` for each root
+    value and :meth:`getvalue` for the final bytes.
+    """
+
+    def __init__(self):
+        self._buf = bytearray()
+
+    def getvalue(self) -> bytes:
+        """The bytes encoded so far."""
+        return bytes(self._buf)
+
+    def __len__(self):
+        return len(self._buf)
+
+    def encode(self, value) -> "Encoder":
+        """Append one value to the buffer; returns self for chaining."""
+        self._encode(value, 0)
+        return self
+
+    # -- internals ---------------------------------------------------
+
+    def _encode(self, value, depth):
+        if depth > _MAX_DEPTH:
+            raise EncodeError(value, f"nesting deeper than {_MAX_DEPTH}")
+        buf = self._buf
+        if value is None:
+            buf += TAG_NONE
+        elif value is True:
+            buf += TAG_TRUE
+        elif value is False:
+            buf += TAG_FALSE
+        elif type(value) is int:
+            self._encode_int(value)
+        elif type(value) is float:
+            buf += TAG_FLOAT
+            buf += _f64.pack(value)
+        elif type(value) is str:
+            raw = value.encode("utf-8")
+            buf += TAG_STR
+            buf += _u32.pack(len(raw))
+            buf += raw
+        elif type(value) in (bytes, bytearray, memoryview):
+            raw = bytes(value)
+            buf += TAG_BYTES
+            buf += _u32.pack(len(raw))
+            buf += raw
+        elif type(value) is list:
+            self._encode_items(TAG_LIST, value, depth)
+        elif type(value) is tuple:
+            self._encode_items(TAG_TUPLE, value, depth)
+        elif type(value) is dict:
+            buf += TAG_DICT
+            buf += _u32.pack(len(value))
+            for key, item in value.items():
+                self._encode(key, depth + 1)
+                self._encode(item, depth + 1)
+        elif type(value) is set:
+            self._encode_items(TAG_SET, sorted(value, key=_set_sort_key), depth)
+        elif type(value) is frozenset:
+            self._encode_items(
+                TAG_FROZENSET, sorted(value, key=_set_sort_key), depth
+            )
+        elif type(value) is RemoteRef:
+            self._encode_remote_ref(value, depth)
+        elif isinstance(value, BaseException):
+            self._encode_exception(value, depth)
+        elif registry.is_serializable(value):
+            self._encode_object(value, depth)
+        elif isinstance(value, int):  # bool handled above; IntEnum etc.
+            self._encode_int(int(value))
+        elif isinstance(value, RemoteRef):
+            self._encode_remote_ref(value, depth)
+        else:
+            raise EncodeError(
+                value,
+                "not a wire-native type and not registered via "
+                "repro.wire.registry.serializable",
+            )
+
+    def _encode_int(self, value):
+        buf = self._buf
+        if _INT64_MIN <= value <= _INT64_MAX:
+            buf += TAG_INT64
+            buf += _i64.pack(value)
+        else:
+            sign = 1 if value < 0 else 0
+            magnitude = abs(value)
+            raw = magnitude.to_bytes((magnitude.bit_length() + 7) // 8, "big")
+            buf += TAG_BIGINT
+            buf += _u32.pack(len(raw))
+            buf += bytes([sign])
+            buf += raw
+
+    def _encode_items(self, tag, items, depth):
+        self._buf += tag
+        self._buf += _u32.pack(len(items))
+        for item in items:
+            self._encode(item, depth + 1)
+
+    def _encode_object(self, value, depth):
+        class_name, fields = registry.object_to_wire(value)
+        self._buf += TAG_OBJECT
+        self._encode(class_name, depth + 1)
+        self._encode(dict(fields), depth + 1)
+
+    def _encode_exception(self, exc, depth):
+        class_name, args = registry.exception_to_wire(exc)
+        # Exception args may themselves be un-encodable objects; degrade
+        # them to their repr rather than failing the whole response.
+        safe_args = []
+        for arg in args:
+            try:
+                probe = Encoder()
+                probe._encode(arg, depth + 1)
+            except EncodeError:
+                safe_args.append(repr(arg))
+            else:
+                safe_args.append(arg)
+        self._buf += TAG_EXCEPTION
+        self._encode(class_name, depth + 1)
+        self._encode(tuple(safe_args), depth + 1)
+
+    def _encode_remote_ref(self, ref, depth):
+        self._buf += TAG_REMOTE_REF
+        self._encode(ref.endpoint, depth + 1)
+        self._encode(ref.object_id, depth + 1)
+        self._encode(ref.interfaces, depth + 1)
+
+
+def _set_sort_key(item):
+    # Deterministic encoding of sets regardless of hash seed.  Mixed-type
+    # sets sort by (type name, repr) which is stable enough for the wire.
+    return (type(item).__name__, repr(item))
+
+
+def encode(value) -> bytes:
+    """Encode a single value to bytes."""
+    return Encoder().encode(value).getvalue()
+
+
+def encode_many(values) -> bytes:
+    """Encode several values back-to-back into one byte string."""
+    enc = Encoder()
+    for value in values:
+        enc.encode(value)
+    return enc.getvalue()

@@ -1,0 +1,99 @@
+"""Length-prefixed message framing for stream transports.
+
+TCP delivers a byte stream; the RMI protocol exchanges discrete messages.
+Frames are ``u32 length`` + payload.  A maximum frame size guards both
+sides against a corrupt or hostile length prefix.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.wire.errors import DecodeError
+
+_u32 = struct.Struct(">I")
+
+#: Upper bound on a single message.  Large enough for the file-server
+#: macro benchmark payloads (hundreds of KB), small enough to reject
+#: garbage prefixes immediately.
+MAX_FRAME_SIZE = 64 * 1024 * 1024
+
+
+class FrameTooLargeError(DecodeError):
+    """A frame length prefix exceeded :data:`MAX_FRAME_SIZE`."""
+
+    def __init__(self, size):
+        self.size = size
+        super().__init__(f"frame of {size} bytes exceeds limit {MAX_FRAME_SIZE}")
+
+
+def frame(payload: bytes) -> bytes:
+    """Wrap *payload* in a length prefix."""
+    if len(payload) > MAX_FRAME_SIZE:
+        raise FrameTooLargeError(len(payload))
+    return _u32.pack(len(payload)) + payload
+
+
+def read_frame(sock) -> bytes:
+    """Read one complete frame from a socket-like object.
+
+    Returns ``b""`` on clean EOF at a frame boundary.  Raises
+    :class:`~repro.wire.errors.DecodeError` on EOF mid-frame or an
+    oversized prefix.
+    """
+    header = _read_exact(sock, 4, allow_eof=True)
+    if header == b"":
+        return b""
+    (length,) = _u32.unpack(header)
+    if length > MAX_FRAME_SIZE:
+        raise FrameTooLargeError(length)
+    return _read_exact(sock, length, allow_eof=False)
+
+
+def _read_exact(sock, count, allow_eof):
+    chunks = []
+    got = 0
+    while got < count:
+        chunk = sock.recv(count - got)
+        if not chunk:
+            if allow_eof and got == 0:
+                return b""
+            raise DecodeError(
+                f"connection closed mid-frame ({got}/{count} bytes read)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+class FrameBuffer:
+    """Incremental frame reassembly for non-blocking or chunked input.
+
+    Feed arbitrary byte chunks with :meth:`feed`; complete frames pop out
+    of :meth:`frames`.
+    """
+
+    def __init__(self):
+        self._buf = bytearray()
+
+    def feed(self, data: bytes):
+        """Append received bytes to the reassembly buffer."""
+        self._buf += data
+
+    def frames(self):
+        """Yield every complete frame currently buffered."""
+        while True:
+            if len(self._buf) < 4:
+                return
+            (length,) = _u32.unpack(bytes(self._buf[:4]))
+            if length > MAX_FRAME_SIZE:
+                raise FrameTooLargeError(length)
+            if len(self._buf) < 4 + length:
+                return
+            payload = bytes(self._buf[4 : 4 + length])
+            del self._buf[: 4 + length]
+            yield payload
+
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buf)

@@ -1,0 +1,46 @@
+"""Value types that the wire format understands natively.
+
+A :class:`RemoteRef` is the on-the-wire representation of a remote object:
+where it lives (``endpoint``), which slot in that server's object table it
+occupies (``object_id``), and which remote interfaces it provides.  The RMI
+layer (:mod:`repro.rmi`) turns exported objects into refs when marshalling
+and refs into stubs when unmarshalling; the wire layer only needs to move
+the three fields faithfully.
+
+Defined here rather than in :mod:`repro.rmi` so the codec has no dependency
+on the middleware above it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class RemoteRef:
+    """A location-transparent reference to an exported remote object.
+
+    Two refs are equal when they name the same slot of the same server,
+    which is also how stub equality is defined (mirroring Java RMI, where
+    stubs compare equal by remote identity, not by proxy identity).
+    """
+
+    endpoint: str
+    object_id: int
+    interfaces: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if not isinstance(self.object_id, int) or self.object_id < 0:
+            raise ValueError(f"object_id must be a non-negative int: {self.object_id!r}")
+        if not isinstance(self.endpoint, str) or not self.endpoint:
+            raise ValueError("endpoint must be a non-empty string")
+        object.__setattr__(self, "interfaces", tuple(self.interfaces))
+
+    def provides(self, interface_name: str) -> bool:
+        """Whether the referenced object declared *interface_name*."""
+        return interface_name in self.interfaces
+
+    def __repr__(self):
+        ifaces = ",".join(self.interfaces) or "?"
+        return f"<RemoteRef {self.endpoint}#{self.object_id} [{ifaces}]>"

@@ -1,0 +1,54 @@
+"""Shared fixtures: a simulated testbed with the support services bound."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import LAN, SimNetwork
+from repro.rmi import RMIClient, RMIServer
+
+from tests.support import (
+    CounterImpl,
+    IdentityServiceImpl,
+    make_container,
+)
+
+SERVER = "sim://server:1099"
+
+
+@pytest.fixture
+def network():
+    net = SimNetwork(conditions=LAN)
+    yield net
+    net.close()
+
+
+@pytest.fixture
+def server(network):
+    srv = RMIServer(network, SERVER).start()
+    srv.bind("counter", CounterImpl())
+    srv.bind("container", make_container())
+    srv.bind("identity", IdentityServiceImpl())
+    yield srv
+    srv.close()
+
+
+@pytest.fixture
+def client(network, server):
+    cli = RMIClient(network, SERVER)
+    yield cli
+    cli.close()
+
+
+@pytest.fixture
+def env(network, server, client):
+    """Convenience bundle for tests that need all three."""
+
+    class Env:
+        pass
+
+    bundle = Env()
+    bundle.network = network
+    bundle.server = server
+    bundle.client = client
+    return bundle

@@ -1,0 +1,114 @@
+"""Tests for the bank / credit-card case study."""
+
+import pytest
+
+from repro.apps.bank import (
+    AccountNotFoundException,
+    CreditManagerImpl,
+    DuplicateAccountException,
+    InsufficientCreditError,
+    bank_policy,
+    purchase_session_brmi,
+    purchase_session_rmi,
+)
+from repro.core import ExceptionAction, create_batch
+
+
+@pytest.fixture
+def bank_env(env):
+    manager = CreditManagerImpl(default_limit=1000.0)
+    env.server.bind("bank", manager)
+    manager.create_credit_account("alice")
+    bank_env = env
+    bank_env.manager = manager
+    return bank_env
+
+
+class TestAccounts:
+    def test_create_and_find(self, bank_env):
+        stub = bank_env.client.lookup("bank")
+        card = stub.create_credit_account("bob")
+        assert card.get_credit_line() == 1000.0
+        assert stub.find_credit_account("bob") == card
+
+    def test_duplicate_account_rejected(self, bank_env):
+        stub = bank_env.client.lookup("bank")
+        with pytest.raises(DuplicateAccountException):
+            stub.create_credit_account("alice")
+
+    def test_missing_account_rejected(self, bank_env):
+        stub = bank_env.client.lookup("bank")
+        with pytest.raises(AccountNotFoundException):
+            stub.find_credit_account("nobody")
+
+    def test_purchases_and_credit_line(self, bank_env):
+        stub = bank_env.client.lookup("bank")
+        card = stub.find_credit_account("alice")
+        card.make_purchase(300.0)
+        assert card.get_credit_line() == 700.0
+        with pytest.raises(InsufficientCreditError):
+            card.make_purchase(800.0)
+        assert card.pay_balance(100.0) == 200.0
+
+    def test_invalid_amounts(self, bank_env):
+        stub = bank_env.client.lookup("bank")
+        card = stub.find_credit_account("alice")
+        with pytest.raises(ValueError):
+            card.make_purchase(-5.0)
+        with pytest.raises(ValueError):
+            card.pay_balance(0.0)
+
+
+class TestSessions:
+    def test_rmi_and_brmi_agree(self, bank_env):
+        rmi = purchase_session_rmi(
+            bank_env.client.lookup("bank"), "alice", [100.0, 50.0]
+        )
+        assert rmi == 850.0
+        brmi = purchase_session_brmi(
+            bank_env.client.lookup("bank"), "alice", [100.0]
+        )
+        assert brmi == 750.0
+
+    def test_brmi_single_round_trip(self, bank_env):
+        before = bank_env.client.stats.requests
+        purchase_session_brmi(
+            bank_env.client.lookup("bank"), "alice", [10.0, 20.0, 30.0]
+        )
+        # one lookup + one flush
+        assert bank_env.client.stats.requests - before == 2
+
+    def test_lookup_failure_breaks_batch(self, bank_env):
+        """The §5.1 policy: a failed account lookup aborts the whole
+        batch, so no purchase is attempted."""
+        with pytest.raises(AccountNotFoundException):
+            purchase_session_brmi(
+                bank_env.client.lookup("bank"), "ghost", [10.0]
+            )
+
+    def test_overlimit_purchase_continues_batch(self, bank_env):
+        """Under the bank policy a failed purchase does NOT abort: later
+        purchases and the credit-line query still execute."""
+        stub = bank_env.client.lookup("bank")
+        manager = create_batch(stub, policy=bank_policy())
+        account = manager.find_credit_account("alice")
+        big = account.make_purchase(5000.0)  # over the line: fails
+        small = account.make_purchase(100.0)  # still runs
+        line = account.get_credit_line()
+        manager.flush()
+        with pytest.raises(InsufficientCreditError):
+            big.get()
+        small.get()
+        assert line.get() == 900.0
+
+    def test_policy_shape(self):
+        policy = bank_policy()
+        assert policy.default_action == ExceptionAction.CONTINUE
+        assert (
+            policy.decide(AccountNotFoundException(), "find_credit_account", 1)
+            == ExceptionAction.BREAK
+        )
+        assert (
+            policy.decide(InsufficientCreditError(), "make_purchase", 2)
+            == ExceptionAction.CONTINUE
+        )

@@ -1,0 +1,160 @@
+"""Tests for the remote file server case study."""
+
+import pytest
+
+from repro.apps.fileserver import (
+    AccessDeniedError,
+    FileNode,
+    fetch_files_brmi,
+    fetch_files_rmi,
+    list_directory_brmi,
+    list_directory_rmi,
+    make_directory,
+)
+from repro.core import ContinuePolicy, create_batch
+
+
+@pytest.fixture
+def fs_env(env):
+    env.server.bind("fs", make_directory(10, 100_000))
+    return env
+
+
+class TestFileSystem:
+    def test_make_directory_sizes_sum(self):
+        root = make_directory(7, 1000)
+        total = sum(
+            len(child.contents) for child in root._node.children.values()
+        )
+        assert total == 1000
+        assert len(root._node.children) == 7
+
+    def test_deterministic_contents(self):
+        first = make_directory(3, 300, seed=5)
+        second = make_directory(3, 300, seed=5)
+        for name in first._node.children:
+            assert (
+                first._node.children[name].contents
+                == second._node.children[name].contents
+            )
+
+    def test_tree_operations(self):
+        root = FileNode("root", directory=True)
+        child = root.add(FileNode("a.txt", contents=b"abc"))
+        assert child.parent is root
+        with pytest.raises(FileExistsError):
+            root.add(FileNode("a.txt"))
+        root.remove("a.txt")
+        with pytest.raises(FileNotFoundError):
+            root.remove("a.txt")
+
+    def test_facade_identity_per_node(self):
+        root = make_directory(2, 10)
+        first = root.get_file("file00.dat")
+        second = root.get_file("file00.dat")
+        assert first is second
+
+    def test_restricted_file_raises(self):
+        root = make_directory(2, 10, restricted_names={"file01.dat"})
+        locked = root.get_file("file01.dat")
+        with pytest.raises(AccessDeniedError):
+            locked.length()
+        with pytest.raises(AccessDeniedError):
+            locked.read_contents()
+
+    def test_delete(self):
+        root = make_directory(2, 10)
+        root.get_file("file00.dat").delete()
+        with pytest.raises(FileNotFoundError):
+            root.get_file("file00.dat")
+        with pytest.raises(PermissionError):
+            root.delete()
+
+
+class TestListing:
+    def test_rmi_and_brmi_listings_agree(self, fs_env):
+        stub = fs_env.client.lookup("fs")
+        assert list_directory_rmi(stub) == list_directory_brmi(stub)
+
+    def test_rmi_round_trips_are_1_plus_4n(self, fs_env):
+        stub = fs_env.client.lookup("fs")
+        before = fs_env.client.stats.requests
+        list_directory_rmi(stub)
+        assert fs_env.client.stats.requests - before == 1 + 4 * 10
+
+    def test_brmi_is_one_round_trip(self, fs_env):
+        stub = fs_env.client.lookup("fs")
+        before = fs_env.client.stats.requests
+        list_directory_brmi(stub)
+        assert fs_env.client.stats.requests - before == 1
+
+
+class TestFetch:
+    @pytest.mark.parametrize("count", [1, 5, 10])
+    def test_transfer_totals_agree(self, fs_env, count):
+        stub = fs_env.client.lookup("fs")
+        assert fetch_files_rmi(stub, count) == fetch_files_brmi(stub, count)
+
+    def test_brmi_fetch_is_two_round_trips(self, fs_env):
+        stub = fs_env.client.lookup("fs")
+        before = fs_env.client.stats.requests
+        fetch_files_brmi(stub, 4)
+        assert fs_env.client.stats.requests - before == 2
+
+    def test_brmi_transfers_only_selected_contents(self, fs_env):
+        """Selecting 1 of 10 files must move ~1/10 of the bytes."""
+        stub = fs_env.client.lookup("fs")
+        fs_env.client.stats.reset()
+        fetch_files_brmi(stub, 1)
+        one = fs_env.client.stats.snapshot().bytes_received
+        fs_env.client.stats.reset()
+        fetch_files_brmi(stub, 10)
+        ten = fs_env.client.stats.snapshot().bytes_received
+        assert ten > one * 4
+
+
+class TestPaperExamples:
+    def test_running_example_single_file(self, fs_env):
+        """§3.2's running example: name and size of one file, batched."""
+        root = create_batch(fs_env.client.lookup("fs"))
+        index = root.get_file("file03.dat")
+        name = index.get_name()
+        size = index.length()
+        root.flush()
+        assert name.get() == "file03.dat"
+        assert size.get() == 10_000
+
+    def test_exception_handling_after_flush(self, fs_env):
+        """§3.3's example: handler around the future access, not the
+        method invocation."""
+        fs_env.server.bind(
+            "fs-locked",
+            make_directory(3, 30, restricted_names={"file01.dat"}),
+        )
+        root = create_batch(
+            fs_env.client.lookup("fs-locked"), policy=ContinuePolicy()
+        )
+        locked = root.get_file("file01.dat")
+        name = locked.get_name()
+        size = locked.length()
+        root.flush()
+        assert name.get() == "file01.dat"
+        with pytest.raises(AccessDeniedError):
+            size.get()
+
+    def test_delete_old_files_two_batches(self, fs_env):
+        """§3.5's chained-cursor loop: delete entries matching a
+        client-side predicate in exactly two batches."""
+        directory = make_directory(5, 50, base_mtime=100)
+        fs_env.server.bind("fs-aging", directory)
+        root = create_batch(fs_env.client.lookup("fs-aging"))
+        cursor = root.list_files()
+        mtime = cursor.last_modified()
+        root.flush_and_continue()
+        cutoff = 102
+        while cursor.next():
+            if mtime.get() < cutoff:
+                cursor.delete()
+        root.flush()
+        remaining = sorted(directory._node.children)
+        assert remaining == ["file02.dat", "file03.dat", "file04.dat"]

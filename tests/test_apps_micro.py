@@ -1,0 +1,162 @@
+"""Tests for the no-op, linked-list, simulation and translator apps."""
+
+import pytest
+
+from repro.apps import (
+    BalancerImpl,
+    NoOpImpl,
+    SimulationImpl,
+    TranslatorImpl,
+    UnknownWordError,
+    Word,
+    build_list,
+    run_noop_brmi,
+    run_noop_rmi,
+    run_simulation_brmi,
+    run_simulation_rmi,
+    translate_brmi,
+    translate_rmi,
+    traverse_brmi,
+    traverse_brmi_unbatched,
+    traverse_rmi,
+)
+
+
+class TestNoOp:
+    def test_rmi_delivers_every_call(self, env):
+        impl = NoOpImpl()
+        env.server.bind("noop", impl)
+        run_noop_rmi(env.client.lookup("noop"), 7)
+        assert impl.calls == 7
+
+    def test_brmi_delivers_every_call_in_one_trip(self, env):
+        impl = NoOpImpl()
+        env.server.bind("noop", impl)
+        stub = env.client.lookup("noop")
+        before = env.client.stats.requests
+        run_noop_brmi(stub, 7)
+        assert impl.calls == 7
+        assert env.client.stats.requests - before == 1
+
+
+class TestLinkedList:
+    @pytest.fixture
+    def list_env(self, env):
+        env.server.bind("list", build_list([10, 20, 30, 40, 50]))
+        return env
+
+    def test_build_list_validation(self):
+        with pytest.raises(ValueError):
+            build_list([])
+
+    def test_traversals_agree(self, list_env):
+        stub = list_env.client.lookup("list")
+        for hops in range(5):
+            expected = (hops + 1) * 10
+            assert traverse_rmi(stub, hops) == expected
+            assert traverse_brmi(stub, hops) == expected
+            assert traverse_brmi_unbatched(stub, hops) == expected
+
+    def test_past_end_raises(self, list_env):
+        stub = list_env.client.lookup("list")
+        with pytest.raises(IndexError):
+            traverse_rmi(stub, 9)
+        with pytest.raises(IndexError):
+            traverse_brmi(stub, 9)
+
+    def test_brmi_round_trips(self, list_env):
+        stub = list_env.client.lookup("list")
+        before = list_env.client.stats.requests
+        traverse_brmi(stub, 4)
+        assert list_env.client.stats.requests - before == 1
+        before = list_env.client.stats.requests
+        traverse_brmi_unbatched(stub, 4)
+        assert list_env.client.stats.requests - before == 5
+
+    def test_rmi_round_trips_linear(self, list_env):
+        stub = list_env.client.lookup("list")
+        before = list_env.client.stats.requests
+        traverse_rmi(stub, 4)
+        assert list_env.client.stats.requests - before == 5
+
+
+class TestSimulation:
+    @pytest.fixture
+    def sim_env(self, env):
+        env.server.bind("sim", SimulationImpl())
+        return env
+
+    def test_balancer_counts(self):
+        balancer = BalancerImpl()
+        assert balancer.balance() == 1
+        assert balancer.balance() == 2
+
+    def test_rmi_and_brmi_results_agree(self, sim_env):
+        rmi = run_simulation_rmi(sim_env.client.lookup("sim"), 6, 3)
+        sim_env.server.bind("sim2", SimulationImpl())
+        brmi = run_simulation_brmi(sim_env.client.lookup("sim2"), 6, 3)
+        assert rmi == brmi == 18.0
+
+    def test_rmi_balance_calls_are_remote(self, sim_env):
+        """Each balance() in the RMI version re-enters the server."""
+        stub = sim_env.client.lookup("sim")
+        before = sim_env.server.stats.requests
+        run_simulation_rmi(stub, 2, 3)
+        # 1 create + 2 steps + 1 results + 6 loopback balance calls.
+        assert sim_env.server.stats.requests - before == 4 + 6
+
+    def test_brmi_balance_calls_are_local(self, sim_env):
+        sim_env.server.bind("sim3", SimulationImpl())
+        stub = sim_env.client.lookup("sim3")
+        before = sim_env.server.stats.requests
+        run_simulation_brmi(stub, 2, 3)
+        # 1 create-batch + 2 step-batches + 1 final batch; zero loopback.
+        assert sim_env.server.stats.requests - before == 4
+
+    def test_negative_reps_rejected(self, sim_env):
+        with pytest.raises(ValueError):
+            sim_env.client.lookup("sim").perform_simulation_step(
+                -1, None
+            )
+
+
+class TestTranslator:
+    @pytest.fixture
+    def tr_env(self, env):
+        env.server.bind("translator", TranslatorImpl())
+        return env
+
+    def test_known_words(self, tr_env):
+        stub = tr_env.client.lookup("translator")
+        result = stub.translate(Word("hello"))
+        assert result == Word("bonjour", "fr")
+
+    def test_unknown_word_passthrough(self, tr_env):
+        stub = tr_env.client.lookup("translator")
+        assert stub.translate(Word("xyzzy")).text == "xyzzy"
+
+    def test_strict_mode_raises(self, env):
+        env.server.bind("strict", TranslatorImpl(strict=True))
+        stub = env.client.lookup("strict")
+        with pytest.raises(UnknownWordError):
+            stub.translate(Word("xyzzy"))
+
+    def test_rmi_and_brmi_agree(self, tr_env):
+        words = [Word(w) for w in ("hello", "world", "cat", "xyzzy")]
+        stub = tr_env.client.lookup("translator")
+        assert translate_rmi(stub, words) == translate_brmi(stub, words)
+
+    def test_runtime_sized_batch_single_trip(self, tr_env):
+        stub = tr_env.client.lookup("translator")
+        words = [Word(w) for w in ("hello", "dog", "house", "water", "cat")]
+        before = tr_env.client.stats.requests
+        translate_brmi(stub, words)
+        assert tr_env.client.stats.requests - before == 1
+
+    def test_non_word_argument_rejected(self, tr_env):
+        stub = tr_env.client.lookup("translator")
+        with pytest.raises(TypeError):
+            stub.translate("raw string")
+
+    def test_empty_batch(self, tr_env):
+        assert translate_brmi(tr_env.client.lookup("translator"), []) == []

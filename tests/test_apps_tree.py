@@ -1,0 +1,70 @@
+"""Hierarchical file-tree walking: batching across directory levels."""
+
+import pytest
+
+from repro.apps import make_tree, walk_tree_brmi, walk_tree_rmi
+
+
+@pytest.fixture
+def tree_env(env):
+    env.server.bind("tree", make_tree(depth=2, fanout=2, files_per_dir=2))
+    return env
+
+
+class TestMakeTree:
+    def test_structure(self):
+        root = make_tree(depth=1, fanout=2, files_per_dir=3)._node
+        assert sorted(root.children) == ["d0", "d1", "f0.dat", "f1.dat", "f2.dat"]
+        assert root.children["d0"].directory
+        assert len(root.children["d0"].children) == 3  # leaves: files only
+
+    def test_deterministic(self):
+        a = make_tree(depth=1, fanout=1, seed=3)._node
+        b = make_tree(depth=1, fanout=1, seed=3)._node
+        assert (
+            a.children["f0.dat"].contents == b.children["f0.dat"].contents
+        )
+
+    def test_zero_depth_is_flat(self):
+        root = make_tree(depth=0, fanout=5, files_per_dir=2)._node
+        assert sorted(root.children) == ["f0.dat", "f1.dat"]
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ValueError):
+            make_tree(depth=-1, fanout=1)
+
+
+class TestWalks:
+    def test_walks_agree(self, tree_env):
+        stub = tree_env.client.lookup("tree")
+        assert walk_tree_brmi(stub) == walk_tree_rmi(stub)
+
+    def test_walk_covers_whole_tree(self, tree_env):
+        stub = tree_env.client.lookup("tree")
+        entries = walk_tree_brmi(stub)
+        # depth 2, fanout 2, 2 files/dir: dirs = 2 + 4, files = 2 * 7.
+        dirs = [e for e in entries if e[1] == "dir"]
+        files = [e for e in entries if e[1] == "file"]
+        assert len(dirs) == 6
+        assert len(files) == 14
+        assert ("d0/d1/f1.dat", "file", 512) in entries
+
+    def test_brmi_walk_is_cheaper(self, tree_env):
+        stub = tree_env.client.lookup("tree")
+        before = tree_env.client.stats.requests
+        walk_tree_rmi(stub)
+        rmi_trips = tree_env.client.stats.requests - before
+        before = tree_env.client.stats.requests
+        walk_tree_brmi(stub)
+        brmi_trips = tree_env.client.stats.requests - before
+        # 7 directories: RMI pays 1 + 3-4 calls per entry; BRMI pays one
+        # batch per directory plus one get_file per subdirectory.
+        assert brmi_trips == 7 + 6
+        assert rmi_trips > 3 * brmi_trips
+
+    def test_empty_directory(self, env):
+        env.server.bind("empty-tree", make_tree(depth=0, fanout=0,
+                                                files_per_dir=0))
+        stub = env.client.lookup("empty-tree")
+        assert walk_tree_brmi(stub) == []
+        assert walk_tree_rmi(stub) == []

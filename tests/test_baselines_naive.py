@@ -1,0 +1,116 @@
+"""Tests for the naive (implicit-style) aggregation baseline."""
+
+import pytest
+
+from repro.apps import build_list, make_directory, NoOpImpl
+from repro.apps.fileserver import list_directory_rmi
+from repro.baselines import (
+    NaiveBatch,
+    list_directory_naive,
+    naive_wrap,
+    run_noop_naive,
+    traverse_naive,
+)
+
+
+class TestAggregation:
+    def test_value_calls_aggregate_into_one_trip(self, env):
+        impl = NoOpImpl()
+        env.server.bind("noop", impl)
+        stub = env.client.lookup("noop")
+        before = env.client.stats.requests
+        run_noop_naive(stub, 6)
+        assert env.client.stats.requests - before == 1
+        assert impl.calls == 6
+
+    def test_pending_counter(self, env):
+        batch = naive_wrap(env.client.lookup("counter"))
+        batch.increment(1)
+        batch.increment(2)
+        assert batch.pending_calls() == 2
+        batch.flush()
+        assert batch.pending_calls() == 0
+
+    def test_future_read_triggers_implicit_flush(self, env):
+        batch = naive_wrap(env.client.lookup("counter"))
+        future = batch.increment(5)
+        before = env.client.stats.requests
+        assert future.get() == 5  # flushes implicitly
+        assert env.client.stats.requests == before + 1
+        assert future.is_done()
+
+    def test_results_correct(self, env):
+        batch = naive_wrap(env.client.lookup("counter"))
+        futures = [batch.increment(1) for _ in range(4)]
+        batch.flush()
+        assert [f.get() for f in futures] == [1, 2, 3, 4]
+
+    def test_wrap_requires_stub(self):
+        with pytest.raises(TypeError):
+            naive_wrap("nope")
+
+
+class TestMaterialization:
+    def test_remote_return_forces_round_trip_per_hop(self, env):
+        env.server.bind("list", build_list(range(10)))
+        stub = env.client.lookup("list")
+        before = env.client.stats.requests
+        assert traverse_naive(stub, 4) == 4
+        # 4 eager next_node() calls + 1 batch for get_value().
+        assert env.client.stats.requests - before == 5
+
+    def test_traversal_value_matches_rmi(self, env):
+        env.server.bind("list", build_list([5, 6, 7, 8]))
+        stub = env.client.lookup("list")
+        assert traverse_naive(stub, 2) == 7
+
+    def test_remote_return_yields_naive_wrapper(self, env):
+        env.server.bind("list", build_list([1, 2]))
+        node = naive_wrap(env.client.lookup("list")).next_node()
+        assert isinstance(node, NaiveBatch)
+
+    def test_array_return_materializes_wrappers(self, env):
+        env.server.bind("fs", make_directory(3, 30))
+        listing = list_directory_naive(env.client.lookup("fs"))
+        assert listing == list_directory_rmi(env.client.lookup("fs"))
+
+    def test_listing_cost_between_rmi_and_brmi(self, env):
+        """Naive: 1 trip for the array + 1 per file (4 reads aggregate);
+        RMI: 1 + 4N; BRMI: 1."""
+        env.server.bind("fs", make_directory(5, 50))
+        stub = env.client.lookup("fs")
+        before = env.client.stats.requests
+        list_directory_naive(stub)
+        naive_trips = env.client.stats.requests - before
+        assert naive_trips == 1 + 5
+        before = env.client.stats.requests
+        list_directory_rmi(stub)
+        assert env.client.stats.requests - before == 1 + 4 * 5
+
+
+class TestBaselineComparison:
+    def test_noop_naive_tracks_brmi(self):
+        from repro.bench import run_baseline_comparison
+
+        experiment = run_baseline_comparison(workload="noop")
+        naive = experiment.series_named("naive")
+        brmi = experiment.series_named("BRMI")
+        rmi = experiment.series_named("RMI")
+        assert naive.at(5) < rmi.at(5)
+        assert naive.at(5) < 1.5 * brmi.at(5)
+
+    def test_list_naive_tracks_rmi(self):
+        from repro.bench import run_baseline_comparison
+
+        experiment = run_baseline_comparison(workload="list")
+        naive = experiment.series_named("naive")
+        brmi = experiment.series_named("BRMI")
+        # Naive aggregation degenerates on reference-chasing workloads:
+        # far closer to RMI than to BRMI.
+        assert naive.at(5) > 3 * brmi.at(5)
+
+    def test_unknown_workload(self):
+        from repro.bench import run_baseline_comparison
+
+        with pytest.raises(ValueError):
+            run_baseline_comparison(workload="nonsense")

@@ -1,0 +1,49 @@
+"""Tests for the ``python -m repro.bench`` command-line driver."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestMainFunction:
+    def test_single_figure(self, capsys):
+        assert main(["fig05", "--no-chart"]) == 0
+        out = capsys.readouterr().out
+        assert "fig05" in out
+        assert "BRMI" in out
+        assert "speedup" in out
+
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for figure_id in ("fig05", "fig09", "fig13"):
+            assert figure_id in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_multiple_figures(self, capsys):
+        assert main(["fig07", "fig09", "--no-chart"]) == 0
+        out = capsys.readouterr().out
+        assert "fig07" in out and "fig09" in out
+
+    def test_chart_flag(self, capsys):
+        main(["fig05"])
+        assert "|" in capsys.readouterr().out  # ASCII chart bars
+
+
+class TestAsSubprocess:
+    @pytest.mark.slow
+    def test_module_entry_point(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.bench", "fig05", "--no-chart"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "fig05" in result.stdout

@@ -1,0 +1,175 @@
+"""The benchmark harness reproduces the paper's qualitative claims.
+
+These are the repository's regression gates for the evaluation: if a
+change breaks a *shape* the paper reports (linearity, flatness, who wins
+where), these tests fail even though unit tests still pass.
+"""
+
+import pytest
+
+from repro.bench import (
+    run_ablation_identity,
+    run_ablation_latency,
+    run_applicability,
+    run_figure,
+    run_model_comparison,
+    render_applicability,
+    render_chart,
+    render_experiment,
+    render_table,
+    summarize_speedups,
+)
+from repro.bench.harness import Series
+
+
+def slope(series):
+    (x0, y0), (x1, y1) = series.points[0], series.points[-1]
+    return (y1 - y0) / (x1 - x0)
+
+
+class TestNoOpShapes:
+    @pytest.fixture(scope="class")
+    def fig05(self):
+        return run_figure("fig05")
+
+    @pytest.fixture(scope="class")
+    def fig06(self):
+        return run_figure("fig06")
+
+    def test_rmi_linear_brmi_flat(self, fig05):
+        assert slope(fig05.series_named("RMI")) > 5 * slope(
+            fig05.series_named("BRMI")
+        )
+
+    def test_rmi_wins_single_call_lan(self, fig05):
+        assert fig05.ratio("RMI", "BRMI", 1) < 1.0
+
+    def test_brmi_wins_at_five_calls(self, fig05):
+        assert fig05.ratio("RMI", "BRMI", 5) > 1.5
+
+    def test_wireless_amplifies_the_gap(self, fig05, fig06):
+        assert fig06.ratio("RMI", "BRMI", 5) > fig05.ratio("RMI", "BRMI", 5)
+
+
+class TestLinkedListShapes:
+    @pytest.fixture(scope="class")
+    def fig07(self):
+        return run_figure("fig07")
+
+    @pytest.fixture(scope="class")
+    def fig09(self):
+        return run_figure("fig09")
+
+    def test_brmi_wins_even_one_traversal(self, fig07):
+        """The 'unexpected result' of §5.3: BRMI beats RMI at n=1."""
+        assert fig07.ratio("RMI", "BRMI", 1) > 1.0
+
+    def test_unbatched_brmi_still_beats_rmi(self, fig09):
+        """Figure 9: flush-per-call BRMI grows linearly yet stays below
+        RMI — marshalling avoidance alone wins."""
+        for x in fig09.series_named("RMI").xs():
+            assert fig09.ratio("RMI", "BRMI", x) > 1.0
+
+    def test_unbatched_brmi_grows_linearly(self, fig09):
+        brmi = fig09.series_named("BRMI")
+        assert slope(brmi) > 0
+        first, last = brmi.points[0][1], brmi.points[-1][1]
+        assert last > 2 * first
+
+
+class TestSimulationShapes:
+    @pytest.fixture(scope="class")
+    def fig10(self):
+        return run_figure("fig10")
+
+    def test_brmi_advantage_consistent_across_steps(self, fig10):
+        """'performance improvements remain consistent even for high
+        numbers of simulation steps'."""
+        ratios = [
+            fig10.ratio("RMI", "BRMI", x)
+            for x in fig10.series_named("RMI").xs()
+        ]
+        assert min(ratios) > 1.5
+        assert max(ratios) / min(ratios) < 1.25  # consistent, not shrinking
+
+
+class TestFileServerShapes:
+    @pytest.fixture(scope="class")
+    def fig12(self):
+        return run_figure("fig12")
+
+    def test_rmi_grows_brmi_nearly_flat(self, fig12):
+        assert slope(fig12.series_named("RMI")) > 3 * slope(
+            fig12.series_named("BRMI")
+        )
+
+    def test_brmi_wins_every_point(self, fig12):
+        for x in fig12.series_named("RMI").xs():
+            assert fig12.ratio("RMI", "BRMI", x) > 2.0
+
+
+class TestApplicability:
+    def test_round_trip_counts(self):
+        counts = run_applicability()
+        assert counts["file-listing"]["rmi"] == 1 + 4 * 10
+        assert counts["file-listing"]["brmi"] == 1
+        assert counts["translator"]["rmi"] == 4
+        assert counts["translator"]["brmi"] == 1
+        assert counts["bank"]["brmi"] == 1
+        assert counts["bank"]["rmi"] == 5
+
+    def test_rendering(self):
+        text = render_applicability(run_applicability())
+        assert "file-listing" in text and "41" in text
+
+
+class TestAblations:
+    def test_latency_sweep_monotone_gap(self):
+        experiment = run_ablation_latency(factors=(0.5, 2.0, 8.0))
+        gaps = [
+            experiment.series_named("RMI").at(x)
+            - experiment.series_named("BRMI").at(x)
+            for x in (0.5, 2.0, 8.0)
+        ]
+        assert gaps == sorted(gaps)
+
+    def test_identity_ablation_rmi_sensitive_brmi_not(self):
+        experiment = run_ablation_identity(steps=10)
+        rmi = experiment.series_named("RMI")
+        brmi = experiment.series_named("BRMI")
+        rmi_growth = rmi.at(4.0) - rmi.at(0.0)
+        brmi_growth = brmi.at(4.0) - brmi.at(0.0)
+        assert rmi_growth > 2 * brmi_growth
+
+    def test_model_comparison_runs(self):
+        experiment = run_model_comparison()
+        assert len(experiment.series) == 4
+
+
+class TestRendering:
+    def test_unknown_figure(self):
+        with pytest.raises(KeyError):
+            run_figure("fig99")
+
+    def test_table_contains_every_point(self):
+        experiment = run_figure("fig05")
+        table = render_table(experiment)
+        for x in (1, 2, 3, 4, 5):
+            assert f"\n{x}" in "\n" + table or f" {x} " in table
+
+    def test_chart_renders(self):
+        assert "|" in render_chart(run_figure("fig05"))
+
+    def test_full_report(self):
+        text = render_experiment(run_figure("fig05"))
+        assert "fig05" in text and "note:" in text
+
+    def test_speedup_summary(self):
+        assert "speedup" in summarize_speedups(run_figure("fig05"))
+
+    def test_series_helpers(self):
+        series = Series("s", [(1, 2.0), (3, 4.0)])
+        assert series.xs() == [1, 3]
+        assert series.values() == [2.0, 4.0]
+        with pytest.raises(KeyError):
+            series.at(9)

@@ -1,0 +1,205 @@
+"""BRMI end-to-end basics: recording, flushing, round-trip economy."""
+
+import pytest
+
+from repro.core import (
+    BatchClosedError,
+    FutureNotReadyError,
+    NotInBatchError,
+    UnsupportedBatchOperationError,
+    create_batch,
+)
+from repro.core.future import Future
+from repro.core.proxy import BatchProxy, BRMI
+from repro.rmi import NoSuchMethodError
+
+from tests.support import Point
+
+
+class TestCreate:
+    def test_create_returns_proxy(self, env):
+        batch = create_batch(env.client.lookup("counter"))
+        assert isinstance(batch, BatchProxy)
+
+    def test_brmi_facade(self, env):
+        batch = BRMI.create(env.client.lookup("counter"))
+        assert isinstance(batch, BatchProxy)
+
+    def test_requires_stub(self, env):
+        with pytest.raises(TypeError):
+            create_batch("not a stub")
+
+    def test_rejects_double_wrapping(self, env):
+        batch = create_batch(env.client.lookup("counter"))
+        with pytest.raises(TypeError):
+            create_batch(batch)
+
+    def test_rejects_bad_policy(self, env):
+        with pytest.raises(TypeError):
+            create_batch(env.client.lookup("counter"), policy="abort")
+
+
+class TestRecording:
+    def test_value_method_returns_future(self, env):
+        batch = create_batch(env.client.lookup("counter"))
+        assert isinstance(batch.increment(1), Future)
+
+    def test_remote_method_returns_proxy(self, env):
+        batch = create_batch(env.client.lookup("container"))
+        child = batch.get_item("item0")
+        assert isinstance(child, BatchProxy)
+
+    def test_no_network_before_flush(self, env):
+        batch = create_batch(env.client.lookup("counter"))
+        before = env.client.stats.requests
+        for _ in range(10):
+            batch.increment(1)
+        assert env.client.stats.requests == before
+
+    def test_future_unreadable_before_flush(self, env):
+        batch = create_batch(env.client.lookup("counter"))
+        future = batch.current()
+        with pytest.raises(FutureNotReadyError):
+            future.get()
+
+    def test_unknown_method_rejected_at_record_time(self, env):
+        batch = create_batch(env.client.lookup("counter"))
+        with pytest.raises(NoSuchMethodError):
+            batch.frobnicate()
+
+    def test_future_as_argument_rejected(self, env):
+        batch = create_batch(env.client.lookup("counter"))
+        future = batch.current()
+        with pytest.raises(UnsupportedBatchOperationError):
+            batch.increment(future)
+
+    def test_foreign_proxy_argument_rejected(self, env):
+        batch_a = create_batch(env.client.lookup("container"))
+        batch_b = create_batch(env.client.lookup("container"))
+        item = batch_a.get_item("item0")
+        with pytest.raises(NotInBatchError):
+            batch_b.adopt(item)
+
+
+class TestFlush:
+    def test_single_round_trip_for_many_calls(self, env):
+        batch = create_batch(env.client.lookup("counter"))
+        futures = [batch.increment(1) for _ in range(8)]
+        before = env.client.stats.requests
+        batch.flush()
+        assert env.client.stats.requests == before + 1
+        assert [f.get() for f in futures] == list(range(1, 9))
+
+    def test_server_executes_in_recording_order(self, env):
+        batch = create_batch(env.client.lookup("counter"))
+        first = batch.increment(10)
+        second = batch.increment(-3)
+        third = batch.current()
+        batch.flush()
+        assert (first.get(), second.get(), third.get()) == (10, 7, 7)
+
+    def test_methods_on_batched_remote_result(self, env):
+        batch = create_batch(env.client.lookup("container"))
+        item = batch.get_item("item2")
+        name = item.name()
+        score = item.score()
+        batch.flush()
+        assert (name.get(), score.get()) == ("item2", 4)
+
+    def test_batched_result_as_argument(self, env):
+        batch = create_batch(env.client.lookup("container"))
+        item = batch.get_item("item0")
+        adopted = batch.adopt(item)
+        batch.flush()
+        assert adopted.get() == "item0"
+
+    def test_serializable_arguments(self, env):
+        batch = create_batch(env.client.lookup("container"))
+        outcome = batch.adopt(Point(9, 9))
+        batch.flush()
+        assert outcome.get() == "stub"
+
+    def test_flush_closes_batch(self, env):
+        batch = create_batch(env.client.lookup("counter"))
+        batch.increment(1)
+        batch.flush()
+        with pytest.raises(BatchClosedError):
+            batch.increment(1)
+        with pytest.raises(BatchClosedError):
+            batch.flush()
+
+    def test_empty_flush_is_local(self, env):
+        batch = create_batch(env.client.lookup("counter"))
+        before = env.client.stats.requests
+        batch.flush()
+        assert env.client.stats.requests == before
+
+    def test_flush_from_child_proxy(self, env):
+        """flush() is part of the Batch base interface on every proxy."""
+        batch = create_batch(env.client.lookup("container"))
+        item = batch.get_item("item0")
+        name = item.name()
+        item.flush()
+        assert name.get() == "item0"
+
+    def test_deep_proxy_chains(self, env):
+        batch = create_batch(env.client.lookup("container"))
+        node = batch.get_item("item0")
+        for _ in range(4):
+            node = node.partner()
+        name = node.name()
+        batch.flush()
+        assert name.get() == "item4"
+
+    def test_kwargs_in_batch(self, env):
+        batch = create_batch(env.client.lookup("counter"))
+        future = batch.increment(amount=6)
+        batch.flush()
+        assert future.get() == 6
+
+
+class TestOk:
+    def test_ok_quiet_on_success(self, env):
+        batch = create_batch(env.client.lookup("container"))
+        item = batch.get_item("item0")
+        batch.flush()
+        item.ok()  # no exception
+
+    def test_ok_before_flush_raises_state_error(self, env):
+        from repro.core import BatchStateError
+
+        batch = create_batch(env.client.lookup("container"))
+        item = batch.get_item("item0")
+        with pytest.raises(BatchStateError):
+            item.ok()
+
+    def test_root_ok_always_quiet(self, env):
+        batch = create_batch(env.client.lookup("container"))
+        batch.ok()
+
+
+class TestChargesAndStats:
+    def test_recording_charges_reported(self, env):
+        from repro.net.conditions import CHARGE_BATCH_RECORD
+
+        batch = create_batch(env.client.lookup("counter"))
+        batch.increment(1)
+        batch.increment(2)
+        charges = env.client.stats.snapshot().charges
+        assert charges.get(CHARGE_BATCH_RECORD, 0) >= 2
+
+    def test_batch_cheaper_than_rmi_for_many_calls(self, env):
+        from repro.net.clock import Stopwatch
+
+        stub = env.client.lookup("counter")
+        watch = Stopwatch(env.network.clock)
+        for _ in range(10):
+            stub.current()
+        rmi_time = watch.elapsed()
+        batch = create_batch(stub)
+        watch.restart()
+        for _ in range(10):
+            batch.current()
+        batch.flush()
+        brmi_time = watch.elapsed()
+        assert brmi_time < rmi_time

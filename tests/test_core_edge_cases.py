@@ -1,0 +1,231 @@
+"""Edge cases and stress scenarios across the batching stack."""
+
+from typing import Iterable, List
+
+import pytest
+
+from repro.core import ContinuePolicy, create_batch, cursor_length
+from repro.rmi import RemoteInterface, RemoteObject
+
+from tests.support import ContainerImpl, Counter, CounterImpl, Item, ItemImpl
+
+
+class TestLargeBatches:
+    def test_five_hundred_ops_one_trip(self, env):
+        batch = create_batch(env.client.lookup("counter"))
+        futures = [batch.increment(1) for _ in range(500)]
+        before = env.client.stats.requests
+        batch.flush()
+        assert env.client.stats.requests == before + 1
+        assert futures[-1].get() == 500
+        assert futures[249].get() == 250
+
+    def test_large_cursor(self, env):
+        env.server.bind(
+            "big", ContainerImpl([ItemImpl(f"n{i}", i) for i in range(200)])
+        )
+        batch = create_batch(env.client.lookup("big"))
+        cursor = batch.all_items()
+        score = cursor.score()
+        batch.flush()
+        total = 0
+        while cursor.next():
+            total += score.get()
+        assert total == sum(range(200))
+
+    def test_deep_chain_of_segments(self, env):
+        batch = create_batch(env.client.lookup("counter"))
+        for i in range(25):
+            batch.increment(1)
+            batch.flush_and_continue()
+        final = batch.current()
+        batch.flush()
+        assert final.get() == 25
+
+    def test_long_proxy_chain(self, env):
+        from repro.apps import build_list
+
+        env.server.bind("long-list", build_list(range(64)))
+        batch = create_batch(env.client.lookup("long-list"))
+        node = batch
+        for _ in range(63):
+            node = node.next_node()
+        value = node.get_value()
+        batch.flush()
+        assert value.get() == 63
+
+
+class TestPayloads:
+    def test_unicode_and_bytes_arguments(self, env):
+        class Echo(RemoteInterface):
+            def echo(self, value) -> object: ...
+
+        class EchoImpl(RemoteObject, Echo):
+            def echo(self, value):
+                return value
+
+        env.server.bind("echo", EchoImpl())
+        batch = create_batch(env.client.lookup("echo"))
+        futures = [
+            batch.echo("héllo 世界 🚀"),
+            batch.echo(b"\x00\xff" * 100),
+            batch.echo({"nested": [1, (2, 3), {4, 5}]}),
+            batch.echo(None),
+            batch.echo(10**30),
+        ]
+        batch.flush()
+        assert futures[0].get() == "héllo 世界 🚀"
+        assert futures[1].get() == b"\x00\xff" * 100
+        assert futures[2].get() == {"nested": [1, (2, 3), {4, 5}]}
+        assert futures[3].get() is None
+        assert futures[4].get() == 10**30
+
+    def test_100kb_return_value(self, env):
+        class Blob(RemoteInterface):
+            def data(self, size: int) -> bytes: ...
+
+        class BlobImpl(RemoteObject, Blob):
+            def data(self, size):
+                return b"x" * size
+
+        env.server.bind("blob", BlobImpl())
+        batch = create_batch(env.client.lookup("blob"))
+        future = batch.data(100_000)
+        batch.flush()
+        assert len(future.get()) == 100_000
+
+
+class TestInterfaceShapes:
+    def test_multi_interface_object_batches_all_methods(self, env):
+        class Both(RemoteObject, Counter, Item):
+            def __init__(self):
+                self.value = 0
+
+            def increment(self, amount):
+                self.value += amount
+                return self.value
+
+            def current(self):
+                return self.value
+
+            def boom(self, message):
+                raise RuntimeError(message)
+
+            def flaky(self, fail_times):
+                return 0
+
+            def name(self):
+                return "both"
+
+            def score(self):
+                return 42
+
+            def touch(self):
+                return 1
+
+            def maybe_fail(self):
+                return "fine"
+
+            def partner(self):
+                raise LookupError("loner")
+
+        env.server.bind("both", Both())
+        batch = create_batch(env.client.lookup("both"))
+        count = batch.increment(3)  # from Counter
+        label = batch.name()  # from Item
+        batch.flush()
+        assert count.get() == 3
+        assert label.get() == "both"
+
+    def test_iterable_annotation_is_cursor(self, env):
+        """Paper §3.4: cursors extend to any Iterable collection."""
+
+        class Lazy(RemoteInterface):
+            def stream(self) -> Iterable[Item]: ...
+
+        class LazyImpl(RemoteObject, Lazy):
+            def stream(self):
+                return iter([ItemImpl("gen0", 0), ItemImpl("gen1", 1)])
+
+        env.server.bind("lazy", LazyImpl())
+        batch = create_batch(env.client.lookup("lazy"))
+        cursor = batch.stream()
+        name = cursor.name()
+        batch.flush()
+        names = [name.get() for _ in cursor]
+        assert names == ["gen0", "gen1"]
+
+    def test_generator_returning_cursor(self, env):
+        class Gen(RemoteInterface):
+            def produce(self, n: int) -> List[Item]: ...
+
+        class GenImpl(RemoteObject, Gen):
+            def produce(self, n):
+                return (ItemImpl(f"g{i}", i) for i in range(n))
+
+        env.server.bind("gen", GenImpl())
+        batch = create_batch(env.client.lookup("gen"))
+        cursor = batch.produce(4)
+        cursor.score()
+        batch.flush()
+        assert cursor_length(cursor) == 4
+
+
+class TestStatePollution:
+    def test_two_batches_do_not_share_failures(self, env):
+        first = create_batch(env.client.lookup("container"))
+        bad = first.get_item("nope")
+        first.flush()
+        second = create_batch(env.client.lookup("container"))
+        good = second.get_item("item0")
+        name = good.name()
+        second.flush()
+        assert name.get() == "item0"
+        with pytest.raises(KeyError):
+            bad.ok()
+
+    def test_cursor_reuse_after_exhaustion_in_chain(self, env):
+        batch = create_batch(env.client.lookup("container"))
+        cursor = batch.all_items()
+        name = cursor.name()
+        batch.flush_and_continue()
+        first_pass = [name.get() for _ in cursor]
+        assert len(first_pass) == 5
+        assert cursor.next() is False  # stays exhausted
+        batch.flush()
+
+    def test_separate_clients_have_separate_stats(self, network, server):
+        from repro.rmi import RMIClient
+
+        first = RMIClient(network, "sim://server:1099")
+        second = RMIClient(network, "sim://server:1099")
+        first.lookup("counter").current()
+        assert first.stats.requests == 2  # lookup + call
+        assert second.stats.requests == 0
+        first.close()
+        second.close()
+
+
+class TestPolicyEdgeCases:
+    def test_continue_policy_with_all_ops_failing(self, env):
+        batch = create_batch(env.client.lookup("counter"),
+                             policy=ContinuePolicy())
+        futures = [batch.boom(f"f{i}") for i in range(5)]
+        batch.flush()
+        for i, future in enumerate(futures):
+            with pytest.raises(Exception, match=f"f{i}"):
+                future.get()
+
+    def test_break_on_very_first_op(self, env):
+        impl = CounterImpl()
+        env.server.bind("fresh", impl)
+        batch = create_batch(env.client.lookup("fresh"))
+        batch.boom("immediately")
+        rest = [batch.increment(1) for _ in range(3)]
+        batch.flush()
+        from repro.core import BatchAbortedError
+
+        for future in rest:
+            with pytest.raises(BatchAbortedError):
+                future.get()
+        assert impl.value == 0

@@ -1,0 +1,171 @@
+"""Direct unit tests of the server-side batch executor."""
+
+import pytest
+
+from repro.core.executor import BatchExecutor
+from repro.core.policies import AbortPolicy
+from repro.core.recording import ArgRef, BatchResponse, InvocationData
+from repro.rmi import MarshalError, NoSuchMethodError, RMIServer
+from repro.rmi.protocol import INVOKE_BATCH
+
+from tests.support import CounterImpl, IdentityServiceImpl
+
+
+@pytest.fixture
+def executor(network):
+    server = RMIServer(network, "sim://exec:1").start()
+    yield BatchExecutor(server)
+    server.close()
+
+
+def inv(seq, method, target=0, args=(), kwargs=None, kind="value",
+        cursor_seq=-1):
+    return InvocationData(
+        seq=seq,
+        target=ArgRef(target),
+        method=method,
+        args=args,
+        kwargs=kwargs or {},
+        returns_kind=kind,
+        cursor_seq=cursor_seq,
+    )
+
+
+class TestValidation:
+    def test_rejects_non_policy(self, executor):
+        with pytest.raises(MarshalError):
+            executor.invoke_batch(CounterImpl(), (), policy="abort")
+
+    def test_rejects_non_invocation_entries(self, executor):
+        with pytest.raises(MarshalError):
+            executor.invoke_batch(CounterImpl(), ("junk",), AbortPolicy())
+
+    def test_rejects_non_increasing_seqs(self, executor):
+        batch = (inv(2, "current"), inv(1, "current"))
+        with pytest.raises(MarshalError):
+            executor.invoke_batch(CounterImpl(), batch, AbortPolicy())
+
+    def test_rejects_undeclared_method(self, executor):
+        response = executor.invoke_batch(
+            CounterImpl(), (inv(1, "_sneaky"),), AbortPolicy()
+        )
+        # Validation of the method happens per-op: the op fails.
+        assert isinstance(response, BatchResponse)
+
+
+class TestExecution:
+    def test_results_for_value_ops(self, executor):
+        target = CounterImpl()
+        response = executor.invoke_batch(
+            target,
+            (inv(1, "increment", args=(4,)), inv(2, "current")),
+            AbortPolicy(),
+        )
+        assert response.results == {1: 4, 2: 4}
+        assert response.exceptions == {}
+
+    def test_remote_results_not_in_response(self, executor):
+        service = IdentityServiceImpl()
+        response = executor.invoke_batch(
+            service,
+            (inv(1, "create", kind="remote"),
+             inv(2, "use", args=(ArgRef(1),))),
+            AbortPolicy(),
+        )
+        assert 1 not in response.results  # remote result stays server-side
+        assert response.results[2] is True  # identity held
+
+    def test_undeclared_method_recorded_as_failure(self, executor):
+        response = executor.invoke_batch(
+            CounterImpl(), (inv(1, "quack"),), AbortPolicy()
+        )
+        assert isinstance(response.exceptions[1], NoSuchMethodError)
+
+    def test_break_marks_rest_not_executed(self, executor):
+        target = CounterImpl()
+        response = executor.invoke_batch(
+            target,
+            (
+                inv(1, "boom", args=("x",)),
+                inv(2, "increment", args=(1,)),
+                inv(3, "increment", args=(1,)),
+            ),
+            AbortPolicy(),
+        )
+        assert response.break_seq == 1
+        assert response.not_executed == (2, 3)
+        assert target.value == 0
+
+    def test_dependency_on_missing_result(self, executor):
+        service = IdentityServiceImpl()
+        response = executor.invoke_batch(
+            service,
+            (
+                inv(1, "create", kind="remote", args=("bad-arg",)),  # fails
+                inv(2, "use", args=(ArgRef(1),)),
+            ),
+            AbortPolicy(),
+        )
+        assert 1 in response.exceptions
+
+    def test_remote_kind_with_value_result_rejected(self, executor):
+        from repro.core.errors import UnsupportedBatchOperationError
+
+        response = executor.invoke_batch(
+            CounterImpl(),
+            (inv(1, "current", kind="remote"),),
+            AbortPolicy(),
+        )
+        assert isinstance(
+            response.exceptions[1], UnsupportedBatchOperationError
+        )
+
+
+class TestSessions:
+    def test_keep_session_returns_id(self, executor):
+        response = executor.invoke_batch(
+            CounterImpl(), (inv(1, "current"),), AbortPolicy(),
+            keep_session=True,
+        )
+        assert response.session_id > 0
+        assert len(executor.sessions) == 1
+
+    def test_session_objects_survive(self, executor):
+        service = IdentityServiceImpl()
+        first = executor.invoke_batch(
+            service,
+            (inv(1, "create", kind="remote"),),
+            AbortPolicy(),
+            keep_session=True,
+        )
+        second = executor.invoke_batch(
+            service,
+            (inv(2, "use", args=(ArgRef(1),)),),
+            AbortPolicy(),
+            session_id=first.session_id,
+            keep_session=False,
+        )
+        assert second.results[2] is True
+        assert len(executor.sessions) == 0
+
+    def test_unknown_session_raises(self, executor):
+        from repro.core import SessionExpiredError
+
+        with pytest.raises(SessionExpiredError):
+            executor.invoke_batch(
+                CounterImpl(), (), AbortPolicy(), session_id=404
+            )
+
+
+class TestViaServerDispatch:
+    def test_invoke_batch_reachable_on_any_object(self, env):
+        """__invoke_batch__ works through the normal dispatch path, like
+        the paper's invokeBatch on UnicastRemoteObject."""
+        counter_ref = env.client.lookup("counter").remote_ref
+        response = env.client.call(
+            counter_ref.object_id,
+            INVOKE_BATCH,
+            ((inv(1, "increment", args=(7,)),), AbortPolicy(), -1, False),
+        )
+        assert isinstance(response, BatchResponse)
+        assert response.results[1] == 7

@@ -1,0 +1,96 @@
+"""The batch-interface derivation tool (the ``rmic -batch`` analogue)."""
+
+import pytest
+
+from repro.core.interfaces import (
+    derive_batch_interfaces,
+    derive_batch_spec,
+    generate_batch_interface_source,
+    method_translation_table,
+)
+from repro.rmi.remote import qualified_name
+
+from tests.support import Container, Counter, Item
+
+
+class TestDeriveSpec:
+    def test_names_follow_convention(self):
+        spec = derive_batch_spec(Container)
+        assert spec.batch_name == "BContainer"
+        assert spec.cursor_name == "CContainer"
+
+    def test_value_methods_become_futures(self):
+        spec = derive_batch_spec(Counter)
+        methods = {m.name: m for m in spec.methods}
+        assert methods["increment"].returns_kind == "value"
+        assert methods["increment"].batch_return_annotation == "Future"
+
+    def test_remote_methods_become_batch_interfaces(self):
+        spec = derive_batch_spec(Container)
+        methods = {m.name: m for m in spec.methods}
+        assert methods["get_item"].returns_kind == "remote"
+        assert methods["get_item"].batch_return_annotation == "BItem"
+
+    def test_array_methods_become_cursors(self):
+        spec = derive_batch_spec(Container)
+        methods = {m.name: m for m in spec.methods}
+        assert methods["all_items"].returns_kind == "cursor"
+        assert methods["all_items"].batch_return_annotation == "CItem"
+
+    def test_non_interface_rejected(self):
+        with pytest.raises(TypeError):
+            derive_batch_spec(int)
+
+
+class TestTransitivity:
+    def test_closure_includes_referenced_interfaces(self):
+        """'generation is transitive: it does not stop until all the
+        transitively-referenced Batch interfaces have been generated'."""
+        specs = derive_batch_interfaces(Container)
+        assert qualified_name(Container) in specs
+        assert qualified_name(Item) in specs
+
+    def test_cycles_terminate(self):
+        # Item.partner() -> Item: self-referencing closure must not loop.
+        specs = derive_batch_interfaces(Item)
+        assert len(specs) == 1
+
+
+class TestCodegen:
+    def test_generated_source_is_importable(self):
+        source = generate_batch_interface_source(Container)
+        namespace = {}
+        exec(compile(source, "<generated>", "exec"), namespace)
+        assert "BContainer" in namespace
+        assert "BItem" in namespace
+        assert "CItem" in namespace  # Item is used as a cursor target
+
+    def test_generated_cursor_extends_batch_and_cursorbase(self):
+        source = generate_batch_interface_source(Container)
+        namespace = {}
+        exec(compile(source, "<generated>", "exec"), namespace)
+        CItem = namespace["CItem"]
+        assert issubclass(CItem, namespace["BItem"])
+        assert issubclass(CItem, namespace["CursorBase"])
+
+    def test_generated_methods_present(self):
+        source = generate_batch_interface_source(Container)
+        namespace = {}
+        exec(compile(source, "<generated>", "exec"), namespace)
+        assert hasattr(namespace["BContainer"], "all_items")
+        assert hasattr(namespace["BItem"], "score")
+
+    def test_no_cursor_class_when_unused(self):
+        source = generate_batch_interface_source(Counter)
+        assert "CCounter(" not in source
+
+
+class TestTranslationTable:
+    def test_rows(self):
+        rows = dict(
+            (name, (remote, batch))
+            for name, remote, batch in method_translation_table(Container)
+        )
+        assert rows["item_count"] == ("T", "Future[T]")
+        assert rows["get_item"] == ("Item", "BItem")
+        assert rows["all_items"] == ("list[Item]", "CItem")

@@ -1,0 +1,124 @@
+"""Unit tests for exception policies."""
+
+import pytest
+
+from repro.core.policies import (
+    AbortPolicy,
+    ContinuePolicy,
+    CustomPolicy,
+    ExceptionAction,
+    default_policy,
+)
+from repro.wire import decode, encode
+
+from tests.support import BoomError
+
+
+class TestActions:
+    def test_validate_accepts_known(self):
+        for action in ExceptionAction.ALL:
+            assert ExceptionAction.validate(action) == action
+
+    def test_validate_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            ExceptionAction.validate("explode")
+
+
+class TestBuiltinPolicies:
+    def test_default_is_abort(self):
+        assert isinstance(default_policy(), AbortPolicy)
+
+    def test_abort_always_breaks(self):
+        policy = AbortPolicy()
+        assert policy.decide(ValueError(), "m", 1) == ExceptionAction.BREAK
+        assert policy.decide(BoomError(), "other", 9) == ExceptionAction.BREAK
+
+    def test_continue_always_continues(self):
+        policy = ContinuePolicy()
+        assert policy.decide(ValueError(), "m", 1) == ExceptionAction.CONTINUE
+
+    def test_policies_survive_the_wire(self):
+        assert isinstance(decode(encode(AbortPolicy())), AbortPolicy)
+        assert isinstance(decode(encode(ContinuePolicy())), ContinuePolicy)
+
+
+class TestCustomPolicy:
+    def test_default_action_applies_without_rules(self):
+        policy = CustomPolicy().set_default_action(ExceptionAction.CONTINUE)
+        assert policy.decide(ValueError(), "m", 0) == ExceptionAction.CONTINUE
+
+    def test_rule_matches_exception_class(self):
+        policy = CustomPolicy()
+        policy.set_default_action(ExceptionAction.CONTINUE)
+        policy.set_action(BoomError, ExceptionAction.BREAK)
+        assert policy.decide(BoomError(), "m", 0) == ExceptionAction.BREAK
+        assert policy.decide(ValueError(), "m", 0) == ExceptionAction.CONTINUE
+
+    def test_rule_matches_subclasses(self):
+        class SubBoom(BoomError):
+            pass
+
+        policy = CustomPolicy().set_action(BoomError, ExceptionAction.REPEAT)
+        assert policy.decide(SubBoom(), "m", 0) == ExceptionAction.REPEAT
+
+    def test_rule_restricted_to_method(self):
+        policy = CustomPolicy()
+        policy.set_action(BoomError, ExceptionAction.BREAK, method="lookup")
+        assert policy.decide(BoomError(), "lookup", 0) == ExceptionAction.BREAK
+        assert policy.decide(BoomError(), "other", 0) == policy.default_action
+
+    def test_rule_restricted_to_index(self):
+        policy = CustomPolicy()
+        policy.set_action(BoomError, ExceptionAction.CONTINUE, index=2)
+        assert policy.decide(BoomError(), "m", 2) == ExceptionAction.CONTINUE
+        assert policy.decide(BoomError(), "m", 3) == ExceptionAction.BREAK
+
+    def test_first_matching_rule_wins(self):
+        policy = CustomPolicy()
+        policy.set_action(BoomError, ExceptionAction.REPEAT)
+        policy.set_action(BoomError, ExceptionAction.CONTINUE)
+        assert policy.decide(BoomError(), "m", 0) == ExceptionAction.REPEAT
+
+    def test_rule_by_class_name_string(self):
+        from repro.wire.registry import qualified_name
+
+        policy = CustomPolicy()
+        policy.set_action(qualified_name(BoomError), ExceptionAction.CONTINUE)
+        assert policy.decide(BoomError(), "m", 0) == ExceptionAction.CONTINUE
+
+    def test_unregistered_name_matches_by_mro_name(self):
+        class LocalError(Exception):
+            pass
+
+        from repro.wire.registry import qualified_name
+
+        policy = CustomPolicy()
+        policy.set_action(qualified_name(LocalError), ExceptionAction.CONTINUE)
+        assert policy.decide(LocalError(), "m", 0) == ExceptionAction.CONTINUE
+
+    def test_invalid_rule_inputs(self):
+        policy = CustomPolicy()
+        with pytest.raises(TypeError):
+            policy.set_action(42, ExceptionAction.BREAK)
+        with pytest.raises(ValueError):
+            policy.set_action(BoomError, "nonsense")
+        with pytest.raises(ValueError):
+            CustomPolicy(default_action="nonsense")
+
+    def test_wire_roundtrip_preserves_rules(self):
+        policy = CustomPolicy()
+        policy.set_default_action(ExceptionAction.CONTINUE)
+        policy.set_action(BoomError, ExceptionAction.BREAK, method="find")
+        rebuilt = decode(encode(policy))
+        assert isinstance(rebuilt, CustomPolicy)
+        assert rebuilt.default_action == ExceptionAction.CONTINUE
+        assert rebuilt.decide(BoomError(), "find", 0) == ExceptionAction.BREAK
+        assert rebuilt.decide(BoomError(), "else", 0) == ExceptionAction.CONTINUE
+
+    def test_chaining_api(self):
+        policy = (
+            CustomPolicy()
+            .set_default_action(ExceptionAction.CONTINUE)
+            .set_action(BoomError, ExceptionAction.BREAK)
+        )
+        assert isinstance(policy, CustomPolicy)

@@ -1,0 +1,177 @@
+"""Property-based tests of batch semantics.
+
+The central invariant of explicit batching: for any program of calls, a
+batch over BRMI computes *the same values* as the same calls issued one
+by one over RMI — only the communication pattern differs (§3).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ContinuePolicy, create_batch
+from repro.net import LAN, SimNetwork
+from repro.rmi import RMIClient, RMIServer
+
+from tests.support import BoomError, CounterImpl, ContainerImpl, ItemImpl
+
+
+def build_world(items_scores):
+    network = SimNetwork(conditions=LAN)
+    server = RMIServer(network, "sim://server:1099").start()
+    server.bind("counter", CounterImpl())
+    server.bind(
+        "container",
+        ContainerImpl([ItemImpl(f"i{k}", score) for k, score in
+                       enumerate(items_scores)]),
+    )
+    client = RMIClient(network, "sim://server:1099")
+    return network, server, client
+
+
+# Program steps over the counter: add amounts, read, or fail.
+steps = st.lists(
+    st.one_of(
+        st.integers(min_value=-100, max_value=100).map(lambda n: ("add", n)),
+        st.just(("read", None)),
+        st.just(("boom", None)),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(steps)
+@settings(max_examples=60, deadline=None)
+def test_batch_equals_sequential_under_continue_policy(program):
+    """RMI one-by-one and one BRMI batch produce identical outcomes for
+    every step, including which steps raise."""
+    network, server, client = build_world([])
+    try:
+        rmi_stub = client.lookup("counter")
+        rmi_outcomes = []
+        for op, arg in program:
+            try:
+                if op == "add":
+                    rmi_outcomes.append(("ok", rmi_stub.increment(arg)))
+                elif op == "read":
+                    rmi_outcomes.append(("ok", rmi_stub.current()))
+                else:
+                    rmi_stub.boom("x")
+                    rmi_outcomes.append(("ok", None))
+            except BoomError:
+                rmi_outcomes.append(("boom", None))
+
+        server.bind("counter", CounterImpl())  # fresh state for BRMI run
+        batch = create_batch(client.lookup("counter"),
+                             policy=ContinuePolicy())
+        futures = []
+        for op, arg in program:
+            if op == "add":
+                futures.append(batch.increment(arg))
+            elif op == "read":
+                futures.append(batch.current())
+            else:
+                futures.append(batch.boom("x"))
+        batch.flush()
+        brmi_outcomes = []
+        for future in futures:
+            try:
+                brmi_outcomes.append(("ok", future.get()))
+            except BoomError:
+                brmi_outcomes.append(("boom", None))
+        assert brmi_outcomes == rmi_outcomes
+    finally:
+        network.close()
+
+
+@given(steps)
+@settings(max_examples=40, deadline=None)
+def test_single_round_trip_regardless_of_program(program):
+    network, _server, client = build_world([])
+    try:
+        batch = create_batch(client.lookup("counter"),
+                             policy=ContinuePolicy())
+        for op, arg in program:
+            if op == "add":
+                batch.increment(arg)
+            elif op == "read":
+                batch.current()
+            else:
+                batch.boom("x")
+        before = client.stats.requests
+        batch.flush()
+        assert client.stats.requests == before + 1
+    finally:
+        network.close()
+
+
+@given(st.lists(st.integers(min_value=0, max_value=50), min_size=0,
+                max_size=10))
+@settings(max_examples=40, deadline=None)
+def test_cursor_sees_every_element_once(scores):
+    network, _server, client = build_world(scores)
+    try:
+        batch = create_batch(client.lookup("container"))
+        cursor = batch.all_items()
+        score = cursor.score()
+        batch.flush()
+        seen = []
+        while cursor.next():
+            seen.append(score.get())
+        assert seen == list(scores)
+    finally:
+        network.close()
+
+
+@given(st.lists(st.integers(min_value=1, max_value=30), min_size=1,
+                max_size=8),
+       st.integers(min_value=1, max_value=4))
+@settings(max_examples=30, deadline=None)
+def test_chained_segments_accumulate_like_sequential(amounts, segments):
+    """Splitting a program across any number of chained segments never
+    changes the computed values."""
+    network, _server, client = build_world([])
+    try:
+        batch = create_batch(client.lookup("counter"))
+        futures = []
+        for index, amount in enumerate(amounts):
+            futures.append(batch.increment(amount))
+            if index % segments == segments - 1:
+                batch.flush_and_continue()
+        batch.flush()
+        running = 0
+        for amount, future in zip(amounts, futures):
+            running += amount
+            assert future.get() == running
+    finally:
+        network.close()
+
+
+@given(st.integers(min_value=0, max_value=6))
+@settings(max_examples=20, deadline=None)
+def test_virtual_time_constant_in_batch_size(extra_calls):
+    """BRMI time grows far slower than RMI time as calls are added (the
+    headline scalability claim)."""
+    from repro.net.clock import Stopwatch
+
+    network, _server, client = build_world([])
+    try:
+        stub = client.lookup("counter")
+        calls = 1 + extra_calls
+
+        watch = Stopwatch(network.clock)
+        for _ in range(calls):
+            stub.current()
+        rmi_time = watch.elapsed()
+
+        batch = create_batch(stub)
+        watch.restart()
+        for _ in range(calls):
+            batch.current()
+        batch.flush()
+        brmi_time = watch.elapsed()
+
+        if calls >= 3:
+            assert brmi_time < rmi_time
+    finally:
+        network.close()

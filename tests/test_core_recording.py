@@ -1,0 +1,106 @@
+"""Unit tests for the batch wire data model."""
+
+import pytest
+
+from repro.core.recording import (
+    NONE_ID,
+    ROOT_SEQ,
+    ArgRef,
+    BatchResponse,
+    InvocationData,
+)
+from repro.wire import decode, encode
+
+
+class TestArgRef:
+    def test_defaults(self):
+        ref = ArgRef(3)
+        assert ref.seq == 3
+        assert not ref.is_element
+
+    def test_element_ref(self):
+        ref = ArgRef(3, 7)
+        assert ref.is_element
+        assert ref.cursor_index == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArgRef(-1)
+        with pytest.raises(ValueError):
+            ArgRef(1, -5)
+
+    def test_wire_roundtrip(self):
+        assert decode(encode(ArgRef(2, 4))) == ArgRef(2, 4)
+
+
+class TestInvocationData:
+    def test_construction(self):
+        inv = InvocationData(1, ArgRef(ROOT_SEQ), "m", (1, "a"), {"k": 2})
+        assert inv.args == (1, "a")
+        assert not inv.in_cursor
+
+    def test_cursor_membership(self):
+        inv = InvocationData(
+            2, ArgRef(1), "m", returns_kind="value", cursor_seq=1
+        )
+        assert inv.in_cursor
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InvocationData(0, ArgRef(0), "m")  # seq must be positive
+        with pytest.raises(TypeError):
+            InvocationData(1, 0, "m")  # target must be ArgRef
+        with pytest.raises(ValueError):
+            InvocationData(1, ArgRef(0), "")
+        with pytest.raises(ValueError):
+            InvocationData(1, ArgRef(0), "m", returns_kind="weird")
+        with pytest.raises(ValueError):
+            InvocationData(1, ArgRef(0), "m", cursor_seq=0)
+
+    def test_wire_roundtrip(self):
+        inv = InvocationData(
+            5, ArgRef(2), "method", (ArgRef(1), "x"), {"n": 3},
+            returns_kind="remote", cursor_seq=NONE_ID,
+        )
+        assert decode(encode(inv)) == inv
+
+
+class TestBatchResponse:
+    def test_defaults(self):
+        response = BatchResponse()
+        assert response.results == {}
+        assert response.break_seq == NONE_ID
+        assert response.break_exception() is None
+
+    def test_break_exception_from_top_level(self):
+        exc = ValueError("x")
+        response = BatchResponse(exceptions={3: exc}, break_seq=3)
+        assert response.break_exception() is exc
+
+    def test_break_exception_from_cursor_matrix(self):
+        exc = ValueError("x")
+        response = BatchResponse(
+            cursor_exceptions={4: {2: exc}}, break_seq=4
+        )
+        assert response.break_exception() is exc
+
+    def test_wire_roundtrip(self):
+        response = BatchResponse(
+            results={1: "a"},
+            exceptions={2: ValueError("v")},
+            cursor_lengths={3: 2},
+            cursor_results={4: ["x", None]},
+            cursor_exceptions={4: {1: KeyError("k")}},
+            not_executed=(5, 6),
+            break_seq=2,
+            session_id=9,
+            restarts=1,
+        )
+        rebuilt = decode(encode(response))
+        assert rebuilt.results == {1: "a"}
+        assert isinstance(rebuilt.exceptions[2], ValueError)
+        assert rebuilt.cursor_lengths == {3: 2}
+        assert rebuilt.cursor_results == {4: ["x", None]}
+        assert isinstance(rebuilt.cursor_exceptions[4][1], KeyError)
+        assert rebuilt.not_executed == (5, 6)
+        assert rebuilt.session_id == 9

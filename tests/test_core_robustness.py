@@ -1,0 +1,161 @@
+"""Robustness: the executor and dispatcher must survive hostile input.
+
+A malformed batch request (crafted bytes, wrong arg shapes, bogus seq
+numbers) must produce a decodable error response — never a hung server
+or an undecodable reply.
+"""
+
+import pytest
+
+from repro.core import SessionExpiredError
+from repro.core.policies import AbortPolicy
+from repro.core.recording import ArgRef, InvocationData
+from repro.rmi import INVOKE_BATCH, MarshalError, RemoteError
+from repro.rmi.protocol import CallRequest
+from repro.wire import decode, encode
+
+
+def raw_request(env, payload_bytes):
+    """Push raw bytes through the transport, decode the CallResponse."""
+    channel = env.network.connect("sim://server:1099")
+    return decode(channel.request(payload_bytes))
+
+
+class TestMalformedTransportPayloads:
+    def test_garbage_bytes(self, env):
+        response = raw_request(env, b"\x00garbage\xff")
+        assert response.is_error
+        assert isinstance(response.value, MarshalError)
+
+    def test_wrong_message_type(self, env):
+        response = raw_request(env, encode("just a string"))
+        assert response.is_error
+
+    def test_valid_encoding_bad_object_id(self, env):
+        request = CallRequest(10_000, "anything")
+        response = raw_request(env, encode(request))
+        assert response.is_error
+        assert isinstance(response.value, RemoteError)
+
+
+class TestMalformedBatches:
+    def counter_id(self, env):
+        return env.client.lookup("counter").remote_ref.object_id
+
+    def test_policy_not_a_policy(self, env):
+        with pytest.raises(MarshalError):
+            env.client.call(
+                self.counter_id(env), INVOKE_BATCH,
+                ((), "not-a-policy", -1, False),
+            )
+
+    def test_invocations_not_invocations(self, env):
+        with pytest.raises(MarshalError):
+            env.client.call(
+                self.counter_id(env), INVOKE_BATCH,
+                (("bogus",), AbortPolicy(), -1, False),
+            )
+
+    def test_decreasing_seqs(self, env):
+        batch = (
+            InvocationData(5, ArgRef(0), "current"),
+            InvocationData(2, ArgRef(0), "current"),
+        )
+        with pytest.raises(MarshalError):
+            env.client.call(
+                self.counter_id(env), INVOKE_BATCH,
+                (batch, AbortPolicy(), -1, False),
+            )
+
+    def test_dangling_target_is_dependency_error(self, env):
+        from repro.core import BatchDependencyError
+
+        batch = (InvocationData(1, ArgRef(99), "current"),)
+        response = env.client.call(
+            self.counter_id(env), INVOKE_BATCH,
+            (batch, AbortPolicy(), -1, False),
+        )
+        assert isinstance(response.exceptions[1], BatchDependencyError)
+
+    def test_unknown_session_id(self, env):
+        with pytest.raises(SessionExpiredError):
+            env.client.call(
+                self.counter_id(env), INVOKE_BATCH,
+                ((), AbortPolicy(), 424242, False),
+            )
+
+    def test_cursor_sub_op_without_cursor(self, env):
+        """A sub-op whose cursor never ran is reported, not crashed on."""
+        batch = (
+            InvocationData(2, ArgRef(1), "current", cursor_seq=1),
+        )
+        response = env.client.call(
+            self.counter_id(env), INVOKE_BATCH,
+            (batch, AbortPolicy(), -1, False),
+        )
+        assert 2 in response.not_executed
+
+    def test_server_survives_abuse(self, env):
+        """After all of the above, the server still works normally."""
+        for payload in (b"\xff", encode(123), encode(CallRequest(9, "x"))):
+            raw_request(env, payload)
+        assert env.client.lookup("counter").increment(1) == 1
+
+
+class TestSessionConcurrency:
+    def test_parallel_chains_have_isolated_sessions(self, network, server):
+        import threading
+
+        from repro.core import create_batch
+        from repro.rmi import RMIClient
+
+        from tests.support import CounterImpl
+
+        for index in range(4):
+            server.bind(f"chain{index}", CounterImpl())
+        results = {}
+
+        def worker(index):
+            client = RMIClient(network, "sim://server:1099")
+            batch = create_batch(client.lookup(f"chain{index}"))
+            batch.increment(index + 1)
+            batch.flush_and_continue()
+            final = batch.increment(index + 1)
+            batch.flush()
+            results[index] = final.get()
+            client.close()
+
+        threads = [threading.Thread(target=worker, args=(index,))
+                   for index in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == {0: 2, 1: 4, 2: 6, 3: 8}
+
+    def test_session_store_hammering(self):
+        import threading
+
+        from repro.core.session import SessionStore
+
+        store = SessionStore(capacity=64)
+        errors = []
+
+        def worker(tag):
+            try:
+                for i in range(200):
+                    sid = store.create({tag: i})
+                    assert store.get(sid)[tag] == i
+                    store.update(sid, {tag: i + 1})
+                    store.discard(sid)
+            except Exception as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(tag,))
+                   for tag in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(store) == 0

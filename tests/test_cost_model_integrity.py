@@ -1,0 +1,112 @@
+"""Integrity of the cost accounting that the benchmarks rest on.
+
+If charges silently stopped being reported or priced, the figures would
+still *run* but measure the wrong thing; these tests pin the plumbing.
+"""
+
+import pytest
+
+from repro.core import create_batch
+from repro.net.conditions import (
+    CHARGE_BATCH_OP,
+    CHARGE_BATCH_SETUP,
+    CHARGE_REMOTE_EXPORT,
+    CHARGE_STUB_CREATE,
+)
+
+from tests.support import make_container
+
+
+class TestServerCharges:
+    def test_batch_execution_charges(self, env):
+        batch = create_batch(env.client.lookup("counter"))
+        for _ in range(4):
+            batch.increment(1)
+        batch.flush()
+        charges = env.server.stats.snapshot().charges
+        assert charges.get(CHARGE_BATCH_SETUP, 0) >= 1
+        assert charges.get(CHARGE_BATCH_OP, 0) >= 4
+
+    def test_remote_return_charges_export(self, env):
+        stub = env.client.lookup("container")
+        before = env.server.stats.snapshot().charges.get(
+            CHARGE_REMOTE_EXPORT, 0
+        )
+        stub.get_item("item0")
+        after = env.server.stats.snapshot().charges.get(
+            CHARGE_REMOTE_EXPORT, 0
+        )
+        assert after == before + 1
+
+    def test_batched_remote_return_does_not_charge_export(self, env):
+        env.server.bind("c-export", make_container())
+        stub = env.client.lookup("c-export")  # the lookup itself exports
+        before = env.server.stats.snapshot().charges.get(
+            CHARGE_REMOTE_EXPORT, 0
+        )
+        batch = create_batch(stub)
+        item = batch.get_item("item0")
+        item.score()
+        batch.flush()
+        after = env.server.stats.snapshot().charges.get(
+            CHARGE_REMOTE_EXPORT, 0
+        )
+        assert after == before, "remote results must stay server-side"
+
+    def test_client_charges_stub_creation(self, env):
+        before = env.client.stats.snapshot().charges.get(
+            CHARGE_STUB_CREATE, 0
+        )
+        env.client.lookup("container").get_item("item0")
+        after = env.client.stats.snapshot().charges.get(CHARGE_STUB_CREATE, 0)
+        assert after > before
+
+
+class TestChargesPriceVirtualTime:
+    def test_charged_events_advance_the_clock(self, env):
+        cost = env.network.hosts.charge_cost(CHARGE_BATCH_OP, 10)
+        assert cost > 0
+        start = env.network.clock.now()
+        env.server.charge(CHARGE_BATCH_OP, 10)
+        assert env.network.clock.now() == pytest.approx(start + cost)
+
+    def test_free_host_profile_disables_charges(self, network):
+        from repro.net.conditions import FREE_CPU, LAN
+        from repro.net.sim import SimNetwork
+
+        free_net = SimNetwork(conditions=LAN, hosts=FREE_CPU)
+        start = free_net.clock.now()
+        free_net.charge_cpu(CHARGE_REMOTE_EXPORT, 100)
+        assert free_net.clock.now() == start
+
+
+class TestBandwidthClaims:
+    def test_brmi_listing_moves_fewer_bytes_than_rmi(self, env):
+        """Batching must save bytes, not just round trips: one envelope
+        instead of 41."""
+        from repro.apps import list_directory_brmi, list_directory_rmi, make_directory
+
+        env.server.bind("fs-bytes", make_directory(10, 1000))
+        stub = env.client.lookup("fs-bytes")
+        env.client.stats.reset()
+        list_directory_rmi(stub)
+        rmi_bytes = env.client.stats.snapshot().total_bytes
+        env.client.stats.reset()
+        list_directory_brmi(stub)
+        brmi_bytes = env.client.stats.snapshot().total_bytes
+        assert brmi_bytes < rmi_bytes
+
+    def test_batch_request_bytes_grow_linearly(self, env):
+        """Marginal cost per recorded op on the wire is bounded."""
+        sizes = {}
+        for count in (1, 11):
+            batch = create_batch(env.client.lookup("counter"))
+            for _ in range(count):
+                batch.current()
+            env.client.stats.reset()
+            batch.flush()
+            sizes[count] = env.client.stats.snapshot().bytes_sent
+        per_op = (sizes[11] - sizes[1]) / 10
+        # Each descriptor carries its qualified class names, so ~260 bytes
+        # per op; the bound catches accidental quadratic blow-ups.
+        assert 0 < per_op < 400, f"per-op wire cost {per_op} bytes"

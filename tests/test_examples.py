@@ -1,0 +1,60 @@
+"""Every shipped example must run cleanly as a script."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "RMI:  file03.dat is 10000 bytes  (3 round trips)" in result.stdout
+        assert "BRMI: file03.dat is 10000 bytes  (1 round trip)" in result.stdout
+        assert "access denied" in result.stdout
+
+    def test_fileserver_browser(self):
+        result = run_example("fileserver_browser.py")
+        assert result.returncode == 0, result.stderr
+        assert "listing cost: 1 round trip" in result.stdout
+        assert "deleted ['file00.dat', 'file01.dat', 'file02.dat']" in result.stdout
+
+    def test_bank_teller(self):
+        result = run_example("bank_teller.py")
+        assert result.returncode == 0, result.stderr
+        assert "credit line 500.00" in result.stdout
+        assert "declined [900.0]" in result.stdout
+        assert "no purchase was attempted" in result.stdout
+
+    def test_translator_pipeline(self):
+        result = run_example("translator_pipeline.py")
+        assert result.returncode == 0, result.stderr
+        assert "10 translations in 1 round trip" in result.stdout
+        assert "class BTranslator(Batch):" in result.stdout
+
+    def test_message_flow(self):
+        result = run_example("message_flow.py")
+        assert result.returncode == 0, result.stderr
+        assert "3 network round trip(s)" in result.stdout
+        assert "1 network round trip(s)" in result.stdout
+        assert "loopback" in result.stdout
+
+    @pytest.mark.parametrize("figure", ["fig05", "fig12"])
+    def test_benchmark_tour_single_figure(self, figure):
+        result = run_example("benchmark_tour.py", figure)
+        assert result.returncode == 0, result.stderr
+        assert figure in result.stdout
+        assert "BRMI speedup over RMI" in result.stdout

@@ -1,0 +1,79 @@
+"""Unit tests for clocks and stopwatches."""
+
+import threading
+
+import pytest
+
+from repro.net.clock import SimClock, Stopwatch, WallClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.0).now() == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(-1.0)
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now() == 2.0
+
+    def test_advance_returns_new_time(self):
+        assert SimClock().advance(3.0) == 3.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-0.1)
+
+    def test_sleep_advances(self):
+        clock = SimClock()
+        clock.sleep(2.0)
+        assert clock.now() == 2.0
+
+    def test_thread_safety(self):
+        clock = SimClock()
+
+        def bump():
+            for _ in range(1000):
+                clock.advance(0.001)
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert clock.now() == pytest.approx(4.0)
+
+
+class TestWallClock:
+    def test_monotonic(self):
+        clock = WallClock()
+        first = clock.now()
+        clock.sleep(0.001)
+        assert clock.now() > first
+
+    def test_zero_sleep_is_noop(self):
+        WallClock().sleep(0)  # must not raise or block
+
+
+class TestStopwatch:
+    def test_elapsed_on_sim_clock(self):
+        clock = SimClock()
+        watch = Stopwatch(clock)
+        clock.advance(0.25)
+        assert watch.elapsed() == 0.25
+        assert watch.elapsed_ms() == 250.0
+
+    def test_restart(self):
+        clock = SimClock()
+        watch = Stopwatch(clock)
+        clock.advance(1.0)
+        watch.restart()
+        clock.advance(0.5)
+        assert watch.elapsed() == 0.5

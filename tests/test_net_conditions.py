@@ -1,0 +1,96 @@
+"""Unit tests for network conditions and host cost models."""
+
+import pytest
+
+from repro.net.conditions import (
+    CHARGE_BATCH_OP,
+    CHARGE_REMOTE_EXPORT,
+    DEFAULT_HOSTS,
+    FREE_CPU,
+    LAN,
+    LOCALHOST,
+    WIRELESS,
+    HostCosts,
+    NetworkConditions,
+    preset,
+    scaled,
+)
+
+
+class TestNetworkConditions:
+    def test_transmission_time_includes_latency_and_bandwidth(self):
+        conditions = NetworkConditions("t", latency_s=0.001, bandwidth_bps=8e6)
+        # 1000 bytes at 8 Mbps = 1 ms, plus 1 ms latency.
+        assert conditions.transmission_time(1000) == pytest.approx(0.002)
+
+    def test_zero_bytes_costs_latency_only(self):
+        conditions = NetworkConditions("t", latency_s=0.005, bandwidth_bps=1e9)
+        assert conditions.transmission_time(0) == pytest.approx(0.005)
+
+    def test_loopback_uses_loopback_latency(self):
+        conditions = NetworkConditions(
+            "t", latency_s=0.1, bandwidth_bps=1e9, loopback_latency_s=1e-6
+        )
+        assert conditions.transmission_time(0, loopback=True) == pytest.approx(1e-6)
+
+    def test_round_trip_sums_both_directions(self):
+        conditions = NetworkConditions("t", latency_s=0.001, bandwidth_bps=8e6)
+        rtt = conditions.round_trip_time(1000, 2000)
+        assert rtt == pytest.approx(0.001 + 0.001 + 0.001 + 0.002)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkConditions("t", latency_s=-1, bandwidth_bps=1)
+        with pytest.raises(ValueError):
+            NetworkConditions("t", latency_s=0, bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            LAN.transmission_time(-1)
+
+    def test_presets_ordering(self):
+        """Wireless must be slower than LAN in both dimensions."""
+        assert WIRELESS.latency_s > LAN.latency_s
+        assert WIRELESS.bandwidth_bps < LAN.bandwidth_bps
+        assert LOCALHOST.latency_s < LAN.latency_s
+
+    def test_preset_lookup(self):
+        assert preset("lan") is LAN
+        assert preset("wireless") is WIRELESS
+        with pytest.raises(KeyError):
+            preset("carrier-pigeon")
+
+    def test_scaled(self):
+        doubled = scaled(LAN, latency_factor=2.0, bandwidth_factor=0.5)
+        assert doubled.latency_s == pytest.approx(LAN.latency_s * 2)
+        assert doubled.bandwidth_bps == pytest.approx(LAN.bandwidth_bps / 2)
+        with pytest.raises(ValueError):
+            scaled(LAN, bandwidth_factor=0)
+
+
+class TestHostCosts:
+    def test_charge_cost_scales_by_count(self):
+        cost = DEFAULT_HOSTS.charge_cost(CHARGE_BATCH_OP, 10)
+        assert cost == pytest.approx(DEFAULT_HOSTS.charges[CHARGE_BATCH_OP] * 10)
+
+    def test_unknown_charge_is_free(self):
+        assert DEFAULT_HOSTS.charge_cost("made-up-kind") == 0.0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_HOSTS.charge_cost(CHARGE_BATCH_OP, -1)
+
+    def test_free_cpu_profile_is_free(self):
+        assert FREE_CPU.request_overhead_s == 0.0
+        assert FREE_CPU.charge_cost(CHARGE_REMOTE_EXPORT) == 0.0
+
+    def test_remote_export_dominates_batch_op(self):
+        """Calibration sanity: exporting a remote object costs far more
+        than replaying one batched op — the premise of Figures 7-9."""
+        assert DEFAULT_HOSTS.charges[CHARGE_REMOTE_EXPORT] > (
+            10 * DEFAULT_HOSTS.charges[CHARGE_BATCH_OP]
+        )
+
+    def test_independent_charge_dicts(self):
+        a = HostCosts()
+        b = HostCosts()
+        a.charges["x"] = 1.0
+        assert "x" not in b.charges

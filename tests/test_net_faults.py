@@ -1,0 +1,90 @@
+"""Unit tests for fault injection."""
+
+import pytest
+
+from repro.net.conditions import FREE_CPU, LOCALHOST
+from repro.net.faults import FaultInjector
+from repro.net.sim import SimNetwork
+from repro.net.transport import FaultInjectedError
+
+
+@pytest.fixture
+def net():
+    network = SimNetwork(LOCALHOST, FREE_CPU)
+    network.listen("sim://s:1", lambda p: p)
+    return network
+
+
+class TestFailNext:
+    def test_fails_exactly_n_requests(self, net):
+        channel = net.connect("sim://s:1")
+        net.faults.fail_next(2)
+        with pytest.raises(FaultInjectedError):
+            channel.request(b"1")
+        with pytest.raises(FaultInjectedError):
+            channel.request(b"2")
+        assert channel.request(b"3") == b"3"
+
+    def test_counts_injections(self, net):
+        net.faults.fail_next(1)
+        with pytest.raises(FaultInjectedError):
+            net.connect("sim://s:1").request(b"")
+        assert net.faults.injected == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector().fail_next(-1)
+
+
+class TestDropRate:
+    def test_zero_rate_never_fails(self, net):
+        net.faults.set_drop_rate(0.0)
+        channel = net.connect("sim://s:1")
+        for _ in range(20):
+            channel.request(b"x")
+
+    def test_full_rate_always_fails(self, net):
+        net.faults.set_drop_rate(1.0)
+        with pytest.raises(FaultInjectedError):
+            net.connect("sim://s:1").request(b"x")
+
+    def test_seeded_determinism(self):
+        def run(seed):
+            injector = FaultInjector(seed=seed)
+            injector.set_drop_rate(0.5)
+            outcomes = []
+            for i in range(50):
+                try:
+                    injector.check("a", b"")
+                    outcomes.append(True)
+                except FaultInjectedError:
+                    outcomes.append(False)
+            return outcomes
+
+        assert run(1) == run(1)
+        assert run(1) != run(2)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            FaultInjector().set_drop_rate(1.5)
+
+
+class TestPredicate:
+    def test_predicate_matches_address(self, net):
+        net.faults.fail_when(lambda addr, payload: "s:1" in addr)
+        with pytest.raises(FaultInjectedError):
+            net.connect("sim://s:1").request(b"")
+
+    def test_predicate_sees_payload(self, net):
+        net.faults.fail_when(lambda addr, payload: b"poison" in payload)
+        channel = net.connect("sim://s:1")
+        assert channel.request(b"fine") == b"fine"
+        with pytest.raises(FaultInjectedError):
+            channel.request(b"poison pill")
+
+    def test_clear_removes_everything(self, net):
+        net.faults.fail_next(5)
+        net.faults.set_drop_rate(1.0)
+        net.faults.fail_when(lambda a, p: True)
+        net.faults.clear()
+        assert net.connect("sim://s:1").request(b"ok") == b"ok"

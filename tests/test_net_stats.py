@@ -1,0 +1,76 @@
+"""Unit tests for traffic statistics counters."""
+
+import threading
+
+import pytest
+
+from repro.net.stats import TrafficStats
+
+
+class TestCounters:
+    def test_initial_state(self):
+        stats = TrafficStats()
+        snap = stats.snapshot()
+        assert (snap.requests, snap.bytes_sent, snap.bytes_received) == (0, 0, 0)
+        assert snap.charges == {}
+
+    def test_record_request(self):
+        stats = TrafficStats()
+        stats.record_request(10, 20)
+        stats.record_request(1, 2)
+        snap = stats.snapshot()
+        assert snap.requests == 2
+        assert snap.bytes_sent == 11
+        assert snap.bytes_received == 22
+        assert snap.total_bytes == 33
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficStats().record_request(-1, 0)
+
+    def test_charges_accumulate(self):
+        stats = TrafficStats()
+        stats.record_charge("a", 2)
+        stats.record_charge("a")
+        stats.record_charge("b")
+        assert stats.snapshot().charges == {"a": 3, "b": 1}
+
+    def test_reset(self):
+        stats = TrafficStats()
+        stats.record_request(5, 5)
+        stats.record_charge("x")
+        stats.reset()
+        snap = stats.snapshot()
+        assert snap.requests == 0
+        assert snap.charges == {}
+
+    def test_snapshot_is_immutable_copy(self):
+        stats = TrafficStats()
+        stats.record_charge("x")
+        snap = stats.snapshot()
+        stats.record_charge("x")
+        assert snap.charges == {"x": 1}
+
+    def test_properties(self):
+        stats = TrafficStats()
+        stats.record_request(3, 7)
+        assert stats.requests == 1
+        assert stats.bytes_sent == 3
+        assert stats.bytes_received == 7
+
+    def test_thread_safety(self):
+        stats = TrafficStats()
+
+        def hammer():
+            for _ in range(500):
+                stats.record_request(1, 1)
+                stats.record_charge("k")
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = stats.snapshot()
+        assert snap.requests == 2000
+        assert snap.charges["k"] == 2000

@@ -1,0 +1,109 @@
+"""Tests for message-flow tracing on the simulated network."""
+
+import pytest
+
+from repro.core import create_batch
+from repro.net import LAN, NetworkTrace, SimNetwork, render_sequence_diagram
+from repro.net.trace import MessageEvent
+from repro.rmi import RMIClient, RMIServer
+
+from tests.support import CounterImpl, IdentityServiceImpl
+
+
+@pytest.fixture
+def traced():
+    trace = NetworkTrace()
+    network = SimNetwork(conditions=LAN, trace=trace)
+    server = RMIServer(network, "sim://server:1099").start()
+    server.bind("counter", CounterImpl())
+    server.bind("identity", IdentityServiceImpl())
+    client = RMIClient(network, "sim://server:1099")
+    yield network, client, trace
+    network.close()
+
+
+class TestRecording:
+    def test_one_event_per_round_trip(self, traced):
+        _network, client, trace = traced
+        stub = client.lookup("counter")
+        trace.clear()
+        stub.increment(1)
+        stub.current()
+        assert len(trace) == 2
+        assert trace.round_trips() == 2
+
+    def test_event_fields(self, traced):
+        network, client, trace = traced
+        stub = client.lookup("counter")
+        trace.clear()
+        stub.current()
+        (event,) = trace.events()
+        assert isinstance(event, MessageEvent)
+        assert event.source == "client"
+        assert event.target == "sim://server:1099"
+        assert event.bytes_up > 0 and event.bytes_down > 0
+        assert not event.loopback
+        assert event.duration > 0
+        assert event.finished_at <= network.clock.now()
+
+    def test_batch_is_single_event(self, traced):
+        _network, client, trace = traced
+        batch = create_batch(client.lookup("counter"))
+        trace.clear()
+        for _ in range(6):
+            batch.increment(1)
+        batch.flush()
+        assert len(trace) == 1
+
+    def test_loopback_events_flagged(self, traced):
+        _network, client, trace = traced
+        service = client.lookup("identity")
+        created = service.create()
+        trace.clear()
+        service.use(created)
+        events = trace.events()
+        # One client->server trip; the server unmarshals a loopback stub
+        # but does not call through it here, so exactly one event.
+        assert [event.loopback for event in events] == [False]
+
+    def test_total_bytes_and_clear(self, traced):
+        _network, client, trace = traced
+        client.lookup("counter").current()
+        assert trace.total_bytes() > 0
+        trace.clear()
+        assert len(trace) == 0
+
+
+class TestRendering:
+    def test_sequence_diagram_shape(self, traced):
+        _network, client, trace = traced
+        stub = client.lookup("counter")
+        trace.clear()
+        stub.increment(1)
+        text = render_sequence_diagram(trace)
+        assert "client" in text and "server" in text
+        assert "[1]" in text
+        assert "1 network round trip(s)" in text
+
+    def test_loopback_rendering(self):
+        trace = NetworkTrace()
+        trace.record(MessageEvent(0.0, 0.001, "server", "sim://server:1",
+                                  10, 5, loopback=True))
+        text = render_sequence_diagram(trace)
+        assert "loopback" in text
+        assert "0 network round trip(s)" in text
+
+    def test_rmi_vs_brmi_trip_counts(self, traced):
+        """The Figure 1 contrast, measured: n pairs vs one pair."""
+        _network, client, trace = traced
+        stub = client.lookup("counter")
+        trace.clear()
+        for _ in range(4):
+            stub.current()
+        rmi_trips = trace.round_trips()
+        trace.clear()
+        batch = create_batch(stub)
+        for _ in range(4):
+            batch.current()
+        batch.flush()
+        assert (rmi_trips, trace.round_trips()) == (4, 1)

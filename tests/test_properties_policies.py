@@ -1,0 +1,128 @@
+"""Property-based tests for policies and the session store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import (
+    AbortPolicy,
+    ContinuePolicy,
+    CustomPolicy,
+    ExceptionAction,
+)
+from repro.core.session import SessionStore
+from repro.wire import decode, encode
+from repro.wire.registry import qualified_name
+
+from tests.support import BoomError
+
+actions = st.sampled_from(sorted(ExceptionAction.ALL))
+
+exception_types = st.sampled_from(
+    [BoomError, ValueError, KeyError, RuntimeError, PermissionError]
+)
+
+rules = st.tuples(
+    exception_types.map(qualified_name),
+    st.sampled_from(["", "method_a", "method_b"]),
+    st.sampled_from([-1, 1, 2, 3]),
+    actions,
+)
+
+
+@given(st.lists(rules, max_size=8), actions)
+@settings(max_examples=150, deadline=None)
+def test_custom_policy_survives_the_wire(rule_list, default):
+    """decide() gives identical answers before and after marshalling."""
+    policy = CustomPolicy(default_action=default, rules=rule_list)
+    rebuilt = decode(encode(policy))
+    probes = [
+        (BoomError("x"), "method_a", 1),
+        (ValueError("y"), "method_b", 2),
+        (KeyError("z"), "other", 3),
+        (RuntimeError(), "method_a", -0),
+    ]
+    for exc, method, index in probes:
+        assert policy.decide(exc, method, index) == rebuilt.decide(
+            exc, method, index
+        )
+
+
+@given(st.lists(rules, max_size=8), actions, exception_types)
+@settings(max_examples=150, deadline=None)
+def test_custom_policy_decisions_always_valid(rule_list, default, exc_type):
+    policy = CustomPolicy(default_action=default, rules=rule_list)
+    decision = policy.decide(exc_type("boom"), "method_a", 2)
+    assert decision in ExceptionAction.ALL
+
+
+@given(exception_types, st.sampled_from(["m1", "m2"]), st.integers(0, 5))
+@settings(max_examples=100, deadline=None)
+def test_builtin_policies_are_constant_functions(exc_type, method, index):
+    assert AbortPolicy().decide(exc_type(), method, index) == (
+        ExceptionAction.BREAK
+    )
+    assert ContinuePolicy().decide(exc_type(), method, index) == (
+        ExceptionAction.CONTINUE
+    )
+
+
+# -- session store model test ----------------------------------------------
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("create"), st.integers(0, 99)),
+        st.tuples(st.just("get"), st.integers(0, 30)),
+        st.tuples(st.just("update"), st.integers(0, 30)),
+        st.tuples(st.just("discard"), st.integers(0, 30)),
+    ),
+    max_size=60,
+)
+
+
+@given(ops)
+@settings(max_examples=100, deadline=None)
+def test_session_store_matches_dict_model(operations):
+    """An unbounded SessionStore behaves exactly like a dict keyed by the
+    ids it handed out."""
+    from repro.core.errors import SessionExpiredError
+
+    store = SessionStore(capacity=10_000)
+    model = {}
+    issued = []
+    for op, value in operations:
+        if op == "create":
+            sid = store.create({"v": value})
+            model[sid] = value
+            issued.append(sid)
+        elif not issued:
+            continue
+        else:
+            sid = issued[value % len(issued)]
+            if op == "get":
+                if sid in model:
+                    assert store.get(sid)["v"] == model[sid]
+                else:
+                    with pytest.raises(SessionExpiredError):
+                        store.get(sid)
+            elif op == "update":
+                if sid in model:
+                    store.update(sid, {"v": value + 1})
+                    model[sid] = value + 1
+                else:
+                    with pytest.raises(SessionExpiredError):
+                        store.update(sid, {})
+            else:
+                store.discard(sid)
+                model.pop(sid, None)
+    assert len(store) == len(model)
+
+
+@given(st.integers(1, 20), st.integers(1, 60))
+@settings(max_examples=60, deadline=None)
+def test_session_store_never_exceeds_capacity(capacity, creations):
+    store = SessionStore(capacity=capacity)
+    for i in range(creations):
+        store.create({"i": i})
+    assert len(store) <= capacity
+    assert store.evictions == max(0, creations - capacity)

@@ -1,0 +1,114 @@
+"""Unit tests for the marshalling rules with a stub context."""
+
+import pytest
+
+from repro.net.conditions import CHARGE_REMOTE_EXPORT, CHARGE_STUB_CREATE
+from repro.rmi.exceptions import MarshalError
+from repro.rmi.marshal import MarshalContext, marshal, marshal_args, unmarshal
+from repro.rmi.stub import Stub
+from repro.wire.refs import RemoteRef
+
+from tests.support import CounterImpl, Point
+
+
+class FakeContext(MarshalContext):
+    def __init__(self):
+        self.exports = []
+        self.stubs = []
+        self.charges = []
+        self._next_id = 0
+
+    def export(self, obj):
+        self.exports.append(obj)
+        ref = RemoteRef("sim://fake:1", self._next_id)
+        self._next_id += 1
+        return ref
+
+    def make_stub(self, ref):
+        self.stubs.append(ref)
+        return Stub(ref, lambda *a: None)
+
+    def charge(self, kind, count=1):
+        self.charges.append((kind, count))
+
+
+class TestMarshal:
+    def test_values_pass_through(self):
+        ctx = FakeContext()
+        for value in (None, 1, 2.5, "s", b"b", Point(1, 2)):
+            assert marshal(value, ctx) == value
+        assert not ctx.exports
+
+    def test_remote_object_exported(self):
+        ctx = FakeContext()
+        obj = CounterImpl()
+        ref = marshal(obj, ctx)
+        assert isinstance(ref, RemoteRef)
+        assert ctx.exports == [obj]
+        assert (CHARGE_REMOTE_EXPORT, 1) in ctx.charges
+
+    def test_stub_marshals_as_its_ref_without_export(self):
+        ctx = FakeContext()
+        original = RemoteRef("sim://elsewhere:1", 9)
+        stub = Stub(original, lambda *a: None)
+        assert marshal(stub, ctx) == original
+        assert not ctx.exports
+
+    def test_containers_recursed(self):
+        ctx = FakeContext()
+        obj = CounterImpl()
+        result = marshal({"k": [obj, 1], "t": (obj,)}, ctx)
+        assert isinstance(result["k"][0], RemoteRef)
+        assert isinstance(result["t"][0], RemoteRef)
+        # Same object exported twice through the context is fine; real
+        # contexts (ObjectTable) are idempotent.
+
+    def test_sets_recursed(self):
+        ctx = FakeContext()
+        result = marshal(frozenset({1, 2}), ctx)
+        assert isinstance(result, frozenset)
+
+
+class TestUnmarshal:
+    def test_ref_becomes_stub(self):
+        ctx = FakeContext()
+        ref = RemoteRef("sim://fake:1", 3)
+        stub = unmarshal(ref, ctx)
+        assert isinstance(stub, Stub)
+        assert (CHARGE_STUB_CREATE, 1) in ctx.charges
+
+    def test_nested_refs(self):
+        ctx = FakeContext()
+        ref = RemoteRef("sim://fake:1", 3)
+        result = unmarshal([ref, {"k": ref}], ctx)
+        assert isinstance(result[0], Stub)
+        assert isinstance(result[1]["k"], Stub)
+
+    def test_values_untouched(self):
+        ctx = FakeContext()
+        assert unmarshal(Point(1, 2), ctx) == Point(1, 2)
+        assert not ctx.stubs
+
+
+class TestMarshalArgs:
+    def test_args_and_kwargs(self):
+        ctx = FakeContext()
+        args, kwargs = marshal_args((1, CounterImpl()), {"p": Point(0, 0)}, ctx)
+        assert args[0] == 1
+        assert isinstance(args[1], RemoteRef)
+        assert kwargs == {"p": Point(0, 0)}
+
+    def test_none_kwargs(self):
+        ctx = FakeContext()
+        assert marshal_args((1,), None, ctx) == ((1,), {})
+
+    def test_failure_wrapped(self):
+        class Exploding(MarshalContext):
+            def export(self, obj):
+                raise RuntimeError("table full")
+
+            def charge(self, kind, count=1):
+                pass
+
+        with pytest.raises(MarshalError):
+            marshal_args((CounterImpl(),), None, Exploding())

@@ -1,0 +1,94 @@
+"""Unit tests for the exported-object table."""
+
+import pytest
+
+from repro.rmi.exceptions import NoSuchObjectError, NotExportedError
+from repro.rmi.objects import ObjectTable
+
+from tests.support import CounterImpl
+
+
+@pytest.fixture
+def table():
+    return ObjectTable("sim://srv:1")
+
+
+class TestExport:
+    def test_sequential_ids(self, table):
+        first = table.export(CounterImpl())
+        second = table.export(CounterImpl())
+        assert (first.object_id, second.object_id) == (0, 1)
+
+    def test_idempotent_per_object(self, table):
+        obj = CounterImpl()
+        assert table.export(obj) == table.export(obj)
+        assert len(table) == 1
+
+    def test_ref_carries_endpoint_and_interfaces(self, table):
+        ref = table.export(CounterImpl())
+        assert ref.endpoint == "sim://srv:1"
+        assert any(name.endswith("Counter") for name in ref.interfaces)
+
+    def test_non_remote_object_rejected(self, table):
+        with pytest.raises(TypeError):
+            table.export(object())
+
+    def test_remote_object_without_interface_rejected(self, table):
+        from repro.rmi.remote import RemoteObject
+
+        class Bare(RemoteObject):
+            pass
+
+        with pytest.raises(TypeError):
+            table.export(Bare())
+
+    def test_exported_ref_recorded_on_object(self, table):
+        obj = CounterImpl()
+        ref = table.export(obj)
+        assert obj._exported_ref == ref
+
+
+class TestLookup:
+    def test_lookup_returns_same_object(self, table):
+        obj = CounterImpl()
+        ref = table.export(obj)
+        assert table.lookup(ref.object_id) is obj
+
+    def test_lookup_missing(self, table):
+        with pytest.raises(NoSuchObjectError):
+            table.lookup(404)
+
+    def test_ref_of(self, table):
+        obj = CounterImpl()
+        ref = table.export(obj)
+        assert table.ref_of(obj) == ref
+
+    def test_ref_of_unexported(self, table):
+        with pytest.raises(NotExportedError):
+            table.ref_of(CounterImpl())
+
+    def test_is_exported(self, table):
+        obj = CounterImpl()
+        assert not table.is_exported(obj)
+        table.export(obj)
+        assert table.is_exported(obj)
+
+
+class TestUnexport:
+    def test_unexport_removes(self, table):
+        obj = CounterImpl()
+        ref = table.export(obj)
+        table.unexport(obj)
+        with pytest.raises(NoSuchObjectError):
+            table.lookup(ref.object_id)
+        assert len(table) == 0
+
+    def test_unexport_unknown_is_noop(self, table):
+        table.unexport(CounterImpl())
+
+    def test_reexport_after_unexport_gets_new_id(self, table):
+        obj = CounterImpl()
+        first = table.export(obj)
+        table.unexport(obj)
+        second = table.export(obj)
+        assert second.object_id != first.object_id

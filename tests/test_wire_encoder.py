@@ -1,0 +1,219 @@
+"""Unit tests for the wire encoder/decoder: every type tag, both ways."""
+
+import math
+
+import pytest
+
+from repro.wire import (
+    DecodeError,
+    EncodeError,
+    RemoteRef,
+    TruncatedError,
+    UnknownTagError,
+    decode,
+    decode_many,
+    encode,
+    encode_many,
+)
+from repro.wire.encoder import Encoder
+
+from tests.support import Point
+
+
+class TestScalars:
+    @pytest.mark.parametrize(
+        "value",
+        [None, True, False, 0, 1, -1, 2**62, -(2**62), 0.0, 3.5, -1e300,
+         "", "hello", "unié中", b"", b"\x00\xff", 10**30, -(10**30)],
+    )
+    def test_roundtrip(self, value):
+        assert decode(encode(value)) == value
+
+    def test_bool_stays_bool(self):
+        assert decode(encode(True)) is True
+        assert decode(encode(False)) is False
+
+    def test_int_does_not_become_bool(self):
+        assert decode(encode(1)) == 1
+        assert type(decode(encode(1))) is int
+
+    def test_int64_boundaries(self):
+        for value in (2**63 - 1, -(2**63), 2**63, -(2**63) - 1):
+            assert decode(encode(value)) == value
+
+    def test_float_nan(self):
+        assert math.isnan(decode(encode(float("nan"))))
+
+    def test_float_infinities(self):
+        assert decode(encode(float("inf"))) == float("inf")
+        assert decode(encode(float("-inf"))) == float("-inf")
+
+    def test_bytes_from_bytearray_and_memoryview(self):
+        assert decode(encode(bytearray(b"abc"))) == b"abc"
+        assert decode(encode(memoryview(b"abc"))) == b"abc"
+
+
+class TestContainers:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            [],
+            [1, "two", 3.0, None],
+            (),
+            (1, (2, (3,))),
+            {},
+            {"a": 1, 2: "b", None: [1, 2]},
+            set(),
+            {1, 2, 3},
+            frozenset({"a", "b"}),
+            [[[[1]]]],
+        ],
+    )
+    def test_roundtrip(self, value):
+        assert decode(encode(value)) == value
+
+    def test_container_types_preserved(self):
+        assert isinstance(decode(encode((1, 2))), tuple)
+        assert isinstance(decode(encode([1, 2])), list)
+        assert isinstance(decode(encode({1, 2})), set)
+        assert isinstance(decode(encode(frozenset({1}))), frozenset)
+
+    def test_set_encoding_deterministic(self):
+        assert encode({3, 1, 2}) == encode({2, 3, 1})
+
+    def test_mixed_type_set(self):
+        value = {1, "a", 2.5}
+        assert decode(encode(value)) == value
+
+    def test_deep_nesting_rejected(self):
+        value = []
+        for _ in range(200):
+            value = [value]
+        with pytest.raises(EncodeError):
+            encode(value)
+
+    def test_dict_with_tuple_keys(self):
+        value = {(1, 2): "a", (3, "x"): "b"}
+        assert decode(encode(value)) == value
+
+
+class TestRegisteredObjects:
+    def test_dataclass_roundtrip(self):
+        assert decode(encode(Point(3, -4))) == Point(3, -4)
+
+    def test_nested_registered_object(self):
+        value = {"points": [Point(0, 0), Point(1, 1)]}
+        assert decode(encode(value)) == value
+
+    def test_unregistered_object_rejected(self):
+        class Plain:
+            pass
+
+        with pytest.raises(EncodeError):
+            encode(Plain())
+
+    def test_function_rejected(self):
+        with pytest.raises(EncodeError):
+            encode(lambda: None)
+
+
+class TestExceptions:
+    def test_builtin_exception_roundtrip(self):
+        exc = decode(encode(ValueError("nope", 3)))
+        assert isinstance(exc, ValueError)
+        assert exc.args == ("nope", 3)
+
+    def test_exception_with_unencodable_arg_degrades(self):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        exc = decode(encode(ValueError(Opaque())))
+        assert isinstance(exc, ValueError)
+        assert exc.args == ("<opaque>",)
+
+    def test_unregistered_exception_becomes_carrier(self):
+        class Oddball(Exception):
+            pass
+
+        decoded = decode(encode(Oddball("hm")))
+        from repro.rmi.exceptions import RemoteApplicationError
+
+        assert isinstance(decoded, RemoteApplicationError)
+        assert "Oddball" in decoded.original_class
+        assert decoded.original_args == ("hm",)
+
+
+class TestRemoteRefs:
+    def test_roundtrip(self):
+        ref = RemoteRef("sim://h:1", 42, ("a.B", "c.D"))
+        assert decode(encode(ref)) == ref
+
+    def test_ref_nested_in_containers(self):
+        ref = RemoteRef("sim://h:1", 7)
+        value = [ref, {"k": ref}]
+        assert decode(encode(value)) == value
+
+    def test_ref_validation(self):
+        with pytest.raises(ValueError):
+            RemoteRef("", 1)
+        with pytest.raises(ValueError):
+            RemoteRef("sim://h:1", -1)
+
+    def test_provides(self):
+        ref = RemoteRef("sim://h:1", 1, ("pkg.Iface",))
+        assert ref.provides("pkg.Iface")
+        assert not ref.provides("pkg.Other")
+
+
+class TestDecoderRobustness:
+    def test_empty_input(self):
+        with pytest.raises(DecodeError):
+            decode(b"")
+
+    def test_unknown_tag(self):
+        with pytest.raises(UnknownTagError):
+            decode(b"Z")
+
+    def test_truncated_string(self):
+        data = encode("hello world")[:-3]
+        with pytest.raises(TruncatedError):
+            decode(data)
+
+    def test_truncated_int(self):
+        with pytest.raises(TruncatedError):
+            decode(b"I\x00\x00")
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(DecodeError):
+            decode(encode(1) + b"junk")
+
+    def test_absurd_list_length_rejected(self):
+        # Claims 2**31 items with an empty body.
+        data = b"L\x7f\xff\xff\xff"
+        with pytest.raises(DecodeError):
+            decode(data)
+
+    def test_invalid_utf8_rejected(self):
+        data = b"S" + (3).to_bytes(4, "big") + b"\xff\xfe\xfd"
+        with pytest.raises(DecodeError):
+            decode(data)
+
+
+class TestMany:
+    def test_encode_decode_many(self):
+        values = [1, "two", [3], Point(4, 5)]
+        assert decode_many(encode_many(values)) == values
+
+    def test_decode_many_empty(self):
+        assert decode_many(b"") == []
+
+    def test_encoder_chaining(self):
+        enc = Encoder().encode(1).encode("x")
+        assert decode_many(enc.getvalue()) == [1, "x"]
+
+    def test_encoder_len_tracks_buffer(self):
+        enc = Encoder()
+        assert len(enc) == 0
+        enc.encode("abcd")
+        assert len(enc) == len(enc.getvalue())

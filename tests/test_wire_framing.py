@@ -1,0 +1,83 @@
+"""Unit tests for length-prefixed framing."""
+
+import io
+
+import pytest
+
+from repro.wire import DecodeError, FrameBuffer, FrameTooLargeError, frame, read_frame
+from repro.wire.framing import MAX_FRAME_SIZE
+
+
+class FakeSocket:
+    """recv() in deliberately awkward chunk sizes."""
+
+    def __init__(self, data, chunk=3):
+        self._stream = io.BytesIO(data)
+        self._chunk = chunk
+
+    def recv(self, n):
+        return self._stream.read(min(n, self._chunk))
+
+
+class TestFrame:
+    def test_roundtrip(self):
+        framed = frame(b"hello")
+        assert read_frame(FakeSocket(framed)) == b"hello"
+
+    def test_empty_payload(self):
+        assert read_frame(FakeSocket(frame(b""))) == b""
+
+    def test_multiple_frames_sequentially(self):
+        data = frame(b"one") + frame(b"two")
+        sock = FakeSocket(data)
+        assert read_frame(sock) == b"one"
+        assert read_frame(sock) == b"two"
+
+    def test_clean_eof_returns_empty(self):
+        assert read_frame(FakeSocket(b"")) == b""
+
+    def test_eof_mid_header(self):
+        with pytest.raises(DecodeError):
+            read_frame(FakeSocket(b"\x00\x00"))
+
+    def test_eof_mid_payload(self):
+        framed = frame(b"hello")[:-2]
+        with pytest.raises(DecodeError):
+            read_frame(FakeSocket(framed))
+
+    def test_oversize_prefix_rejected(self):
+        bad = (MAX_FRAME_SIZE + 1).to_bytes(4, "big")
+        with pytest.raises(FrameTooLargeError):
+            read_frame(FakeSocket(bad))
+
+    def test_frame_too_large_to_send(self):
+        with pytest.raises(FrameTooLargeError):
+            frame(b"x" * (MAX_FRAME_SIZE + 1))
+
+
+class TestFrameBuffer:
+    def test_incremental_reassembly(self):
+        buf = FrameBuffer()
+        data = frame(b"abcdef")
+        collected = []
+        for i in range(len(data)):
+            buf.feed(data[i : i + 1])
+            collected.extend(buf.frames())
+        assert collected == [b"abcdef"]
+
+    def test_multiple_frames_one_feed(self):
+        buf = FrameBuffer()
+        buf.feed(frame(b"a") + frame(b"bb") + frame(b"ccc"))
+        assert list(buf.frames()) == [b"a", b"bb", b"ccc"]
+
+    def test_pending_bytes(self):
+        buf = FrameBuffer()
+        buf.feed(frame(b"abc")[:4])
+        list(buf.frames())
+        assert buf.pending_bytes() == 4
+
+    def test_oversize_in_buffer(self):
+        buf = FrameBuffer()
+        buf.feed((MAX_FRAME_SIZE + 1).to_bytes(4, "big"))
+        with pytest.raises(FrameTooLargeError):
+            list(buf.frames())

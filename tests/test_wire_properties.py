@@ -1,0 +1,98 @@
+"""Property-based tests: the codec is a faithful round trip."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wire import decode, decode_many, encode, encode_many
+from repro.wire.refs import RemoteRef
+
+from tests.support import Point
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**40), max_value=10**40),
+    st.floats(allow_nan=False),
+    st.text(max_size=64),
+    st.binary(max_size=64),
+)
+
+refs = st.builds(
+    RemoteRef,
+    endpoint=st.text(min_size=1, max_size=16).map(lambda s: f"sim://{s}:1"),
+    object_id=st.integers(min_value=0, max_value=2**31),
+    interfaces=st.tuples(st.text(min_size=1, max_size=12)),
+)
+
+points = st.builds(Point, x=st.integers(), y=st.integers())
+
+hashables = st.one_of(
+    scalars, st.tuples(st.integers(), st.text(max_size=8))
+)
+
+
+def trees(leaves):
+    return st.recursive(
+        leaves,
+        lambda children: st.one_of(
+            st.lists(children, max_size=5),
+            st.tuples(children, children),
+            st.dictionaries(hashables, children, max_size=4),
+            st.sets(hashables, max_size=4),
+            st.frozensets(hashables, max_size=4),
+        ),
+        max_leaves=25,
+    )
+
+
+@given(trees(st.one_of(scalars, refs, points)))
+@settings(max_examples=300, deadline=None)
+def test_roundtrip_identity(value):
+    assert decode(encode(value)) == value
+
+
+@given(st.lists(st.one_of(scalars, refs), max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_roundtrip_many(values):
+    assert decode_many(encode_many(values)) == values
+
+
+@given(st.floats())
+@settings(max_examples=200, deadline=None)
+def test_float_roundtrip_bitexact(value):
+    decoded = decode(encode(value))
+    if math.isnan(value):
+        assert math.isnan(decoded)
+    else:
+        assert decoded == value
+
+
+@given(st.integers())
+@settings(max_examples=300, deadline=None)
+def test_int_roundtrip_unbounded(value):
+    decoded = decode(encode(value))
+    assert decoded == value
+    assert type(decoded) is int
+
+
+@given(trees(scalars))
+@settings(max_examples=150, deadline=None)
+def test_encoding_is_deterministic(value):
+    assert encode(value) == encode(value)
+
+
+@given(st.binary(max_size=256))
+@settings(max_examples=300, deadline=None)
+def test_decoder_never_crashes_on_garbage(data):
+    """Arbitrary bytes either decode to something or raise DecodeError —
+    never any other exception type."""
+    from repro.wire import DecodeError
+
+    try:
+        decode(data)
+    except DecodeError:
+        pass
+    except RecursionError:
+        raise AssertionError("decoder recursed unboundedly")

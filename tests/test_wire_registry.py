@@ -1,0 +1,117 @@
+"""Unit tests for the serializable-class and exception registries."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.wire import UnregisteredClassError, decode, encode
+from repro.wire.registry import (
+    exception_from_wire,
+    exception_to_wire,
+    is_serializable,
+    object_from_wire,
+    object_to_wire,
+    qualified_name,
+    register_exception,
+    registered_classes,
+    registered_exceptions,
+    serializable,
+)
+
+
+@serializable
+@dataclass
+class Payload:
+    label: str
+    values: list
+
+
+@serializable
+class Hooked:
+    """Non-dataclass using explicit wire hooks."""
+
+    def __init__(self, total):
+        self.total = total
+
+    def to_wire(self):
+        return {"total": self.total}
+
+    @classmethod
+    def from_wire(cls, fields):
+        return cls(fields["total"])
+
+    def __eq__(self, other):
+        return isinstance(other, Hooked) and other.total == self.total
+
+
+@register_exception
+class CustomBoom(Exception):
+    pass
+
+
+class TestSerializable:
+    def test_dataclass_registration(self):
+        assert is_serializable(Payload("a", [1]))
+        assert qualified_name(Payload) in registered_classes()
+
+    def test_roundtrip_through_codec(self):
+        value = Payload("x", [1, 2])
+        assert decode(encode(value)) == value
+
+    def test_wire_hooks_roundtrip(self):
+        assert decode(encode(Hooked(9))) == Hooked(9)
+
+    def test_plain_class_rejected(self):
+        with pytest.raises(TypeError):
+            @serializable
+            class Nope:
+                pass
+
+    def test_object_to_wire_fields(self):
+        name, fields = object_to_wire(Payload("a", [2]))
+        assert name.endswith("Payload")
+        assert fields == {"label": "a", "values": [2]}
+
+    def test_object_from_wire_unknown_class(self):
+        with pytest.raises(UnregisteredClassError):
+            object_from_wire("no.such.Class", {})
+
+    def test_object_from_wire_rebuilds(self):
+        name, fields = object_to_wire(Payload("a", []))
+        assert object_from_wire(name, fields) == Payload("a", [])
+
+
+class TestExceptions:
+    def test_registered_roundtrip(self):
+        name, args = exception_to_wire(CustomBoom("why", 2))
+        rebuilt = exception_from_wire(name, args)
+        assert isinstance(rebuilt, CustomBoom)
+        assert rebuilt.args == ("why", 2)
+
+    def test_registry_listing(self):
+        assert qualified_name(CustomBoom) in registered_exceptions()
+
+    def test_builtins_preregistered(self):
+        name, args = exception_to_wire(KeyError("k"))
+        assert isinstance(exception_from_wire(name, args), KeyError)
+
+    def test_unknown_exception_falls_back(self):
+        from repro.rmi.exceptions import RemoteApplicationError
+
+        rebuilt = exception_from_wire("ghost.Error", ("boo",))
+        assert isinstance(rebuilt, RemoteApplicationError)
+        assert rebuilt.original_class == "ghost.Error"
+
+    def test_register_non_exception_rejected(self):
+        with pytest.raises(TypeError):
+            register_exception(str)
+
+    def test_exception_with_bad_signature_still_rebuilds(self):
+        @register_exception
+        class Picky(Exception):
+            def __init__(self, a, b):
+                super().__init__(a, b)
+
+        rebuilt = exception_from_wire(qualified_name(Picky), ("only-one",))
+        assert isinstance(rebuilt, Picky)
+        assert rebuilt.args == ("only-one",)
