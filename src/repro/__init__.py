@@ -21,8 +21,19 @@ Quickstart::
     root.flush()                       # one round trip for all three calls
     print(name.get(), size.get())
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-figure reproductions.
+Hot batches can go further with compiled plans: pass
+``reuse_plans=True`` and a repeated batch shape is shipped once, cached
+server-side under its content hash, and re-invoked afterwards with just
+``(hash, argument values)`` — a fraction of the wire bytes per flush::
+
+    for name in many_names:
+        root = create_batch(client.lookup("root"), reuse_plans=True)
+        size = root.get_file(name).get_size()
+        root.flush()                   # inline once, then plan invocations
+        print(name, size.get())
+
+See DESIGN.md for the system inventory (including the plan layer) and
+EXPERIMENTS.md for the paper-figure reproductions.
 """
 
 from repro.core import (
@@ -54,6 +65,16 @@ from repro.net import (
     Stopwatch,
     TcpNetwork,
 )
+from repro.plan import (
+    BatchPlan,
+    compile_plan,
+    PlanCache,
+    PlanError,
+    PlanInvalidatedError,
+    PlanNotFoundError,
+    PlanningBatchProxy,
+    plan_hash,
+)
 from repro.rmi import (
     CommunicationError,
     RemoteError,
@@ -63,7 +84,7 @@ from repro.rmi import (
     RMIServer,
     Stub,
 )
-from repro.wire import RemoteRef, register_exception, serializable
+from repro.wire import ParamSlot, RemoteRef, register_exception, serializable
 
 __version__ = "1.0.0"
 
@@ -71,8 +92,10 @@ __all__ = [
     "AbortPolicy",
     "BatchAbortedError",
     "BatchError",
+    "BatchPlan",
     "BatchProxy",
     "BRMI",
+    "compile_plan",
     "CommunicationError",
     "ContinuePolicy",
     "create_batch",
@@ -89,6 +112,13 @@ __all__ = [
     "LAN",
     "LOCALHOST",
     "NetworkConditions",
+    "ParamSlot",
+    "plan_hash",
+    "PlanCache",
+    "PlanError",
+    "PlanInvalidatedError",
+    "PlanningBatchProxy",
+    "PlanNotFoundError",
     "register_exception",
     "RemoteError",
     "RemoteInterface",

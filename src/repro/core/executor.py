@@ -94,9 +94,17 @@ class BatchExecutor:
 
     def invoke_batch(self, root_obj, invocations, policy,
                      session_id: int = NONE_ID,
-                     keep_session: bool = False) -> BatchResponse:
-        """Entry point reached via the ``__invoke_batch__`` pseudo-method."""
-        invocations = self._validate(invocations, policy)
+                     keep_session: bool = False,
+                     validated: bool = False) -> BatchResponse:
+        """Entry point reached via the ``__invoke_batch__`` pseudo-method.
+
+        *validated* skips the wire-shape re-check: the plan runtime
+        validates a shape once at install time and replays it many times.
+        """
+        if validated:
+            invocations = tuple(invocations)
+        else:
+            invocations = self._validate(invocations, policy)
         if session_id != NONE_ID:
             base_objects = dict(self._sessions.get(session_id))
             base_objects[ROOT_SEQ] = root_obj

@@ -363,11 +363,7 @@ class BatchRecorder:
                 self._closed = True
                 return  # empty batch, no server state to release
             invocations = tuple(self._segment)
-            response = self._client.call(
-                self._stub.remote_ref.object_id,
-                INVOKE_BATCH,
-                (invocations, self._policy, self._session_id, keep_session),
-            )
+            response = self._ship(invocations, keep_session)
             if not isinstance(response, BatchResponse):
                 raise BatchError(
                     f"server returned {type(response).__name__}, expected "
@@ -381,6 +377,19 @@ class BatchRecorder:
             else:
                 self._session_id = NONE_ID
                 self._closed = True
+
+    def _ship(self, invocations, keep_session):
+        """One network round trip carrying the recorded segment.
+
+        Subclasses (the plan-reusing recorder) override this to choose a
+        different wire strategy for the same segment; everything around
+        it — bookkeeping, result distribution — is shared.
+        """
+        return self._client.call(
+            self._stub.remote_ref.object_id,
+            INVOKE_BATCH,
+            (invocations, self._policy, self._session_id, keep_session),
+        )
 
     def _reset_segment(self):
         self._segment = []
@@ -448,12 +457,19 @@ class BatchRecorder:
         return unmarshal(value, self._client)
 
 
-def create_batch(stub: Stub, policy=None, client=None) -> BatchProxy:
+def create_batch(stub: Stub, policy=None, client=None,
+                 reuse_plans: bool = False) -> BatchProxy:
     """Wrap an RMI stub in a batch-object proxy (``BRMI.create``, §3.2).
 
     *policy* defaults to :class:`~repro.core.policies.AbortPolicy`.
     *client* is normally inferred from the stub; pass it explicitly only
     for hand-built stubs.
+
+    *reuse_plans* turns on compiled batch plans (:mod:`repro.plan`): the
+    returned proxy records and flushes exactly like a plain batch, but
+    its recorder memoizes flushed shapes per client and switches a
+    repeated shape to content-addressed plan invocation — one round trip
+    carrying only a hash and the argument values.
     """
     if isinstance(stub, BatchProxy):
         raise TypeError("already a batch proxy; wrap the underlying stub")
@@ -478,8 +494,15 @@ def create_batch(stub: Stub, policy=None, client=None) -> BatchProxy:
             "no remote interface metadata for this stub; ensure its "
             "interface classes are imported on the client"
         )
-    recorder = BatchRecorder(stub, policy, owner)
-    root = BatchProxy(recorder, ROOT_SEQ, specs)
+    if reuse_plans:
+        # Local import: the plan layer builds on this module.
+        from repro.plan.client import PlanningBatchProxy, PlanningBatchRecorder
+
+        recorder = PlanningBatchRecorder(stub, policy, owner)
+        root = PlanningBatchProxy(recorder, ROOT_SEQ, specs)
+    else:
+        recorder = BatchRecorder(stub, policy, owner)
+        root = BatchProxy(recorder, ROOT_SEQ, specs)
     recorder.root = root
     owner.charge(CHARGE_PROXY_CREATE)
     return root

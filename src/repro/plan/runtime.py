@@ -1,0 +1,72 @@
+"""Server-side plan execution: the ``__invoke_plan__`` / ``__install_plan__``
+pseudo-methods.
+
+The runtime sits between the RMI dispatcher and the ordinary
+:class:`~repro.core.executor.BatchExecutor`.  A hit binds the cached
+shape to the request's parameter tuple and replays it through the same
+executor as an inline batch — identical results, policy behavior and
+cursor geometry, with validation skipped because the shape was validated
+once at install time.  A miss raises the typed
+:class:`~repro.rmi.exceptions.PlanNotFoundError` so the client can fall
+back to uploading the plan inline.
+
+Plans are pure scripts: the root object arrives with every request (the
+pseudo-methods dispatch on an object id, exactly like ``invokeBatch``),
+and :class:`~repro.wire.refs.RemoteRef` parameters are unmarshalled by
+the executor's substitution step on every run — nothing live is ever
+captured at install time.
+"""
+
+from __future__ import annotations
+
+from repro.plan.model import BatchPlan, plan_hash
+from repro.rmi.exceptions import MarshalError, PlanNotFoundError
+from repro.wire import encode
+
+
+class PlanRuntime:
+    """Executes cached plans against one server's batch executor."""
+
+    def __init__(self, executor, cache):
+        self._executor = executor
+        self._cache = cache
+
+    @property
+    def cache(self):
+        return self._cache
+
+    def invoke(self, root_obj, digest, params):
+        """Run the cached plan *digest* with *params*; raise on a miss."""
+        if not isinstance(digest, str):
+            raise MarshalError(
+                f"plan hash has unexpected type {type(digest).__name__}"
+            )
+        entry = self._cache.get(digest)
+        if entry is None:
+            raise PlanNotFoundError(digest)
+        bound = entry.plan.bind(params)
+        return self._executor.invoke_batch(
+            root_obj, bound, entry.plan.policy, validated=True
+        )
+
+    def install(self, root_obj, plan, params):
+        """Verify, cache, and execute an uploaded plan in one round trip."""
+        if not isinstance(plan, BatchPlan):
+            raise MarshalError(
+                f"plan upload has unexpected type {type(plan).__name__}"
+            )
+        digest = plan_hash(plan)
+        plan.validate_slots()
+        # Validate the shape once; every later invocation skips this.
+        from repro.core.executor import BatchExecutor
+
+        BatchExecutor._validate(plan.ops, plan.policy)
+        bound = plan.bind(params)
+        # Byte-accounting baseline: what the inline path would ship for
+        # this batch versus what a plan invocation ships instead.
+        inline_cost = len(encode(bound))
+        invoke_cost = len(encode((digest, tuple(params))))
+        self._cache.install(digest, plan, inline_cost, invoke_cost)
+        return self._executor.invoke_batch(
+            root_obj, bound, plan.policy, validated=True
+        )

@@ -34,6 +34,7 @@ class RMIClient(MarshalContext):
         self._peers = {}  # endpoint -> RMIClient for refs to other servers
         self._lock = threading.Lock()
         self._closed = False
+        self._plan_memo = None
 
     @property
     def address(self) -> str:
@@ -48,6 +49,20 @@ class RMIClient(MarshalContext):
     def stats(self):
         """Traffic counters for this client's own channel."""
         return self._channel.stats
+
+    @property
+    def plan_memo(self):
+        """This client's memory of flushed batch shapes (created lazily).
+
+        Shared by every ``reuse_plans=True`` batch the client creates, so
+        a shape that went hot in one batch stays hot in the next.
+        """
+        with self._lock:
+            if self._plan_memo is None:
+                from repro.plan.client import PlanMemo
+
+                self._plan_memo = PlanMemo()
+            return self._plan_memo
 
     # -- MarshalContext ------------------------------------------------
 

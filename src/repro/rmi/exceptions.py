@@ -92,6 +92,47 @@ class RemoteApplicationError(RemoteError):
 
 
 @register_exception
+class PlanError(RemoteError):
+    """Base for compiled-batch-plan protocol failures (see :mod:`repro.plan`)."""
+
+
+@register_exception
+class PlanNotFoundError(PlanError):
+    """``__invoke_plan__`` named a hash absent from the server's plan cache.
+
+    Part of the miss protocol: the client reacts by re-uploading the plan
+    inline through ``__install_plan__``, which installs and executes it in
+    one round trip.
+    """
+
+    def __init__(self, plan_hash):
+        self.plan_hash = plan_hash
+        super().__init__(plan_hash)
+
+    def __str__(self):
+        return f"no cached plan with hash {self.plan_hash!r}"
+
+
+@register_exception
+class PlanInvalidatedError(PlanError):
+    """A cached plan can no longer run — its root object was unexported.
+
+    Plans are content-addressed scripts, not bindings to live objects, so
+    every invocation re-resolves the root (and any :class:`RemoteRef`
+    parameters) afresh; this error is the typed answer when that
+    re-resolution fails at the root.
+    """
+
+    def __init__(self, plan_hash, reason="the plan's root object is no longer exported"):
+        self.plan_hash = plan_hash
+        self.reason = reason
+        super().__init__(plan_hash, reason)
+
+    def __str__(self):
+        return f"plan {self.plan_hash!r} invalidated: {self.reason}"
+
+
+@register_exception
 class RegistryError(RemoteError):
     """Naming-service failures (unknown or duplicate names)."""
 

@@ -16,6 +16,16 @@ from repro.wire.registry import serializable
 #: Pseudo-method name the batching layer invokes on the root object.
 INVOKE_BATCH = "__invoke_batch__"
 
+#: Pseudo-method executing a cached plan: ``(plan_hash, params)``.
+INVOKE_PLAN = "__invoke_plan__"
+
+#: Pseudo-method of the plan miss protocol: ``(plan, params)`` uploads the
+#: plan inline, installs it in the server's plan cache, and executes it.
+INSTALL_PLAN = "__install_plan__"
+
+#: All pseudo-methods available on every exported object.
+PSEUDO_METHODS = frozenset({INVOKE_BATCH, INVOKE_PLAN, INSTALL_PLAN})
+
 #: Object id at which every server exports its naming registry.
 REGISTRY_OBJECT_ID = 0
 

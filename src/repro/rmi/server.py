@@ -16,11 +16,18 @@ from __future__ import annotations
 import threading
 
 from repro.net.transport import host_of
-from repro.rmi.exceptions import MarshalError, NoSuchMethodError
+from repro.rmi.exceptions import (
+    MarshalError,
+    NoSuchMethodError,
+    NoSuchObjectError,
+    PlanInvalidatedError,
+)
 from repro.rmi.marshal import MarshalContext, marshal, unmarshal
 from repro.rmi.objects import ObjectTable
 from repro.rmi.protocol import (
     INVOKE_BATCH,
+    INVOKE_PLAN,
+    PSEUDO_METHODS,
     REGISTRY_OBJECT_ID,
     CallRequest,
     CallResponse,
@@ -35,15 +42,17 @@ from repro.wire.refs import RemoteRef
 class RMIServer(MarshalContext):
     """One exported-object space reachable at one address."""
 
-    def __init__(self, network, address: str):
+    def __init__(self, network, address: str, plan_capacity: int = None):
         self._network = network
         self._address = address
+        self._plan_capacity = plan_capacity
         self.host = host_of(address)
         self._objects = ObjectTable(address)
         self._registry = RegistryImpl()
         self._listener = None
         self._loopback_clients = {}
         self._batch_executor = None
+        self._plan_runtime = None
         self._lock = threading.Lock()
         # The registry must land at the well-known id before anything else.
         ref = self._objects.export(self._registry)
@@ -159,10 +168,9 @@ class RMIServer(MarshalContext):
         return self._encode_response(response)
 
     def _dispatch(self, request: CallRequest):
+        if request.method in PSEUDO_METHODS:
+            return self._dispatch_pseudo(request)
         target = self._objects.lookup(request.object_id)
-        if request.method == INVOKE_BATCH:
-            executor = self._batch_executor_instance()
-            return executor.invoke_batch(target, *request.args)
         specs = self._method_specs(target)
         if request.method not in specs:
             raise NoSuchMethodError(request.method, interface_names(target))
@@ -171,6 +179,53 @@ class RMIServer(MarshalContext):
         method = getattr(target, request.method)
         result = method(*args, **kwargs)
         return marshal(result, self)
+
+    def _dispatch_pseudo(self, request: CallRequest):
+        """Route the batching pseudo-methods to their runtimes.
+
+        For the plan methods, a missing root object becomes the typed
+        :class:`~repro.rmi.exceptions.PlanInvalidatedError` here rather
+        than a bare ``NoSuchObjectError``: the client's cached plan (and
+        memo entry) are pointed at an object that no longer exists, and
+        the typed error is what lets it distinguish "re-record against a
+        fresh root" from transient middleware failures.  Only
+        ``__invoke_plan__`` gets that conversion: an install (and the
+        inline path) carries the full script, so nothing cached went
+        stale and the ordinary ``NoSuchObjectError`` keeps its meaning.
+
+        Argument arity is pinned here so only the protocol's own fields
+        can reach the runtimes — a hostile extra positional (e.g. the
+        executor's internal ``validated`` flag) must not be injectable
+        from the wire.
+        """
+        args = request.args
+        if request.method == INVOKE_BATCH:
+            self._require_arity(request, len(args) == 4)
+            target = self._objects.lookup(request.object_id)
+            executor = self._batch_executor_instance()
+            return executor.invoke_batch(target, *args)
+        self._require_arity(request, len(args) == 2)
+        runtime = self._plan_runtime_instance()
+        if request.method == INVOKE_PLAN:
+            try:
+                target = self._objects.lookup(request.object_id)
+            except NoSuchObjectError:
+                raise PlanInvalidatedError(self._plan_digest_of(request)) from None
+            return runtime.invoke(target, *args)
+        target = self._objects.lookup(request.object_id)
+        return runtime.install(target, *args)
+
+    @staticmethod
+    def _require_arity(request: CallRequest, ok: bool) -> None:
+        if not ok:
+            raise MarshalError(
+                f"{request.method} received {len(request.args)} arguments"
+            )
+
+    @staticmethod
+    def _plan_digest_of(request: CallRequest) -> str:
+        digest = request.args[0] if request.args else None
+        return digest if isinstance(digest, str) else "?"
 
     def _method_specs(self, target):
         specs = {}
@@ -192,11 +247,39 @@ class RMIServer(MarshalContext):
     # -- internals --------------------------------------------------------
 
     def _batch_executor_instance(self):
-        if self._batch_executor is None:
-            from repro.core.executor import BatchExecutor
+        # Double-checked: the hot dispatch path must not serialize on the
+        # server lock just to re-read an already-initialized field.
+        executor = self._batch_executor
+        if executor is not None:
+            return executor
+        from repro.core.executor import BatchExecutor
 
-            self._batch_executor = BatchExecutor(self)
-        return self._batch_executor
+        with self._lock:
+            if self._batch_executor is None:
+                self._batch_executor = BatchExecutor(self)
+            return self._batch_executor
+
+    @property
+    def plan_cache(self):
+        """The server's compiled-plan cache (created on first use)."""
+        return self._plan_runtime_instance().cache
+
+    def _plan_runtime_instance(self):
+        runtime = self._plan_runtime
+        if runtime is not None:
+            return runtime
+        from repro.plan.cache import PlanCache
+        from repro.plan.runtime import PlanRuntime
+
+        executor = self._batch_executor_instance()
+        with self._lock:
+            if self._plan_runtime is None:
+                if self._plan_capacity is None:
+                    cache = PlanCache()
+                else:
+                    cache = PlanCache(self._plan_capacity)
+                self._plan_runtime = PlanRuntime(executor, cache)
+            return self._plan_runtime
 
     def _loopback_client(self, endpoint: str):
         from repro.rmi.client import RMIClient

@@ -7,11 +7,12 @@ Public surface:
 - :func:`serializable` — register a class for pass-by-copy
 - :func:`register_exception` — register an exception for faithful transfer
 - :class:`RemoteRef` — the wire-native remote reference
+- :class:`ParamSlot` — the wire-native plan parameter placeholder
 - :func:`frame` / :func:`read_frame` / :class:`FrameBuffer` — stream framing
 """
 
 from repro.wire.decoder import Decoder, decode, decode_many
-from repro.wire.encoder import Encoder, encode, encode_many
+from repro.wire.encoder import Encoder, canonical_set_order, encode, encode_many
 from repro.wire.errors import (
     DecodeError,
     EncodeError,
@@ -21,6 +22,7 @@ from repro.wire.errors import (
     WireError,
 )
 from repro.wire.framing import FrameBuffer, FrameTooLargeError, frame, read_frame
+from repro.wire.plans import ParamSlot
 from repro.wire.refs import RemoteRef
 from repro.wire.registry import (
     register_exception,
@@ -36,11 +38,13 @@ __all__ = [
     "EncodeError",
     "FrameBuffer",
     "FrameTooLargeError",
+    "ParamSlot",
     "RemoteRef",
     "TruncatedError",
     "UnknownTagError",
     "UnregisteredClassError",
     "WireError",
+    "canonical_set_order",
     "decode",
     "decode_many",
     "encode",

@@ -110,10 +110,10 @@ class Encoder:
                 self._encode(key, depth + 1)
                 self._encode(item, depth + 1)
         elif type(value) is set:
-            self._encode_items(TAG_SET, sorted(value, key=_set_sort_key), depth)
+            self._encode_items(TAG_SET, canonical_set_order(value), depth)
         elif type(value) is frozenset:
             self._encode_items(
-                TAG_FROZENSET, sorted(value, key=_set_sort_key), depth
+                TAG_FROZENSET, canonical_set_order(value), depth
             )
         elif type(value) is RemoteRef:
             self._encode_remote_ref(value, depth)
@@ -186,6 +186,16 @@ def _set_sort_key(item):
     # Deterministic encoding of sets regardless of hash seed.  Mixed-type
     # sets sort by (type name, repr) which is stable enough for the wire.
     return (type(item).__name__, repr(item))
+
+
+def canonical_set_order(values) -> list:
+    """The codec's deterministic iteration order for set members.
+
+    Public because anything that derives identity from encoded bytes —
+    the plan compiler numbers parameter slots while walking arguments —
+    must walk sets in exactly the order the encoder will.
+    """
+    return sorted(values, key=_set_sort_key)
 
 
 def encode(value) -> bytes:

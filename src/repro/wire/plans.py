@@ -1,0 +1,36 @@
+"""Wire records for compiled batch plans.
+
+A *plan* is a recorded batch whose concrete argument values were lifted
+out into numbered parameter slots; what remains is the batch's pure
+*shape*.  The shape travels (and is content-hashed) once, the parameters
+travel on every invocation.  Only the slot marker lives at the wire layer
+— the plan model itself sits above the RMI layer in :mod:`repro.plan` —
+so the codec stays free of middleware dependencies, exactly like
+:class:`~repro.wire.refs.RemoteRef`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.wire.registry import serializable
+
+
+@serializable
+@dataclass(frozen=True)
+class ParamSlot:
+    """Placeholder for one lifted argument value inside a plan's shape.
+
+    ``index`` addresses a position in the flat parameter tuple that
+    accompanies every plan invocation.  Slots are assigned in recording
+    order, so identical call sequences produce identical slot layouts.
+    """
+
+    index: int
+
+    def __post_init__(self):
+        if not isinstance(self.index, int) or self.index < 0:
+            raise ValueError(f"slot index must be a non-negative int: {self.index!r}")
+
+    def __repr__(self):
+        return f"<ParamSlot #{self.index}>"

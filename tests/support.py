@@ -165,6 +165,8 @@ class IdentityService(RemoteInterface):
 
     def use(self, counter: Counter) -> bool: ...
 
+    def poke(self, counter: Counter) -> int: ...
+
 
 class IdentityServiceImpl(RemoteObject, IdentityService):
     def __init__(self):
@@ -178,3 +180,7 @@ class IdentityServiceImpl(RemoteObject, IdentityService):
     def use(self, counter: Counter) -> bool:
         self.last_was_identical = counter is self.remote_obj
         return self.last_was_identical
+
+    def poke(self, counter: Counter) -> int:
+        """Call through the argument — surfaces stale-reference failures."""
+        return counter.current()

@@ -45,6 +45,13 @@ class TestExamples:
         assert "10 translations in 1 round trip" in result.stdout
         assert "class BTranslator(Batch):" in result.stdout
 
+    def test_plan_cache_tour(self):
+        result = run_example("plan_cache_tour.py")
+        assert result.returncode == 0, result.stderr
+        assert "x fewer" in result.stdout
+        assert "hit_rate=100.0%" in result.stdout
+        assert "installs=1" in result.stdout
+
     def test_message_flow(self):
         result = run_example("message_flow.py")
         assert result.returncode == 0, result.stderr

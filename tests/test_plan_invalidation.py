@@ -1,0 +1,127 @@
+"""Stale references in the plan path.
+
+Plans are content-addressed scripts, never bindings to live objects:
+the root object and every RemoteRef parameter must be re-resolved on
+each invocation.  A vanished root raises the typed
+:class:`PlanInvalidatedError`; a vanished parameter fails op-level,
+exactly as it would inline.
+"""
+
+import pytest
+
+from repro.core import ContinuePolicy, create_batch
+from repro.rmi.exceptions import NoSuchObjectError, PlanInvalidatedError
+
+from tests.support import CounterImpl, IdentityServiceImpl
+
+
+def warm_plan(stub, amount=1):
+    """Flush the same shape twice so the plan is installed and hot."""
+    for _ in range(2):
+        batch = create_batch(stub, reuse_plans=True)
+        future = batch.increment(amount)
+        batch.flush()
+        assert future.get() > 0
+
+
+class TestRootInvalidation:
+    def test_unexported_root_raises_typed_error(self, network, server):
+        """Regression: a cached plan whose root object was unexported must
+        fail with PlanInvalidatedError, not a generic middleware error."""
+        from repro.rmi import RMIClient
+
+        impl = CounterImpl()
+        server.bind("doomed", impl)
+        client = RMIClient(network, "sim://server:1099")
+        stub = client.lookup("doomed")
+        warm_plan(stub)
+        assert len(server.plan_cache) == 1
+
+        server.objects.unexport(impl)
+
+        batch = create_batch(stub, reuse_plans=True)
+        batch.increment(1)
+        with pytest.raises(PlanInvalidatedError) as excinfo:
+            batch.flush()
+        assert excinfo.value.plan_hash != "?"
+        # The plan itself stays cached — it is a script, not a binding —
+        # so a fresh export of the same shape can reuse it.
+        assert len(server.plan_cache) == 1
+        client.close()
+
+    def test_install_with_stale_root_keeps_ordinary_error(self, network, server):
+        """Only __invoke_plan__ converts a missing root into
+        PlanInvalidatedError; an install carries the full script (nothing
+        cached went stale) so it fails like the inline path would."""
+        from repro.core.policies import AbortPolicy
+        from repro.core.recording import ArgRef, InvocationData
+        from repro.plan import compile_plan
+        from repro.rmi import RMIClient
+        from repro.rmi.protocol import INSTALL_PLAN
+
+        impl = CounterImpl()
+        server.bind("gone", impl)
+        client = RMIClient(network, "sim://server:1099")
+        stub = client.lookup("gone")
+        server.objects.unexport(impl)
+
+        plan, params = compile_plan(
+            (InvocationData(seq=1, target=ArgRef(0), method="increment",
+                            args=(1,)),),
+            AbortPolicy(),
+        )
+        with pytest.raises(NoSuchObjectError):
+            client.call(stub.remote_ref.object_id, INSTALL_PLAN, (plan, params))
+        client.close()
+
+    def test_fresh_root_reuses_the_cached_plan(self, network, server):
+        from repro.rmi import RMIClient
+
+        old = CounterImpl()
+        server.bind("rotating", old)
+        client = RMIClient(network, "sim://server:1099")
+        warm_plan(client.lookup("rotating"))
+        hits_before = server.plan_cache.stats.snapshot().hits
+
+        server.objects.unexport(old)
+        replacement = CounterImpl()
+        server.bind("rotating", replacement)
+
+        batch = create_batch(client.lookup("rotating"), reuse_plans=True)
+        future = batch.increment(1)
+        batch.flush()
+        assert future.get() == 1
+        assert replacement.value == 1
+        assert server.plan_cache.stats.snapshot().hits == hits_before + 1
+        client.close()
+
+
+class TestParameterRefResolution:
+    def test_remote_ref_params_resolve_per_invocation(self, network, server):
+        """A stub argument is lifted as a RemoteRef parameter; each plan
+        invocation must resolve it against the server's *current* object
+        table, never replay a capture from install time."""
+        from repro.rmi import RMIClient
+
+        server.bind("identity", IdentityServiceImpl())
+        target = CounterImpl()
+        server.bind("target", target)
+        client = RMIClient(network, "sim://server:1099")
+        identity = client.lookup("identity")
+        target_stub = client.lookup("target")
+
+        def flush_once():
+            batch = create_batch(identity, reuse_plans=True,
+                                 policy=ContinuePolicy())
+            future = batch.poke(target_stub)
+            batch.flush()
+            return future
+
+        flush_once()
+        ok = flush_once()  # plan path from here on
+        assert ok.get() is not None
+
+        server.objects.unexport(target)
+        stale = flush_once()
+        with pytest.raises(NoSuchObjectError):
+            stale.get()

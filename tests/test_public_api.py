@@ -22,6 +22,7 @@ class TestTopLevelExports:
             "repro.net",
             "repro.rmi",
             "repro.core",
+            "repro.plan",
             "repro.apps",
             "repro.baselines",
             "repro.model",
