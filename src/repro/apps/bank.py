@@ -42,6 +42,15 @@ class CreditCard(RemoteInterface):
         """Charge the card; InsufficientCreditError if over the line."""
         ...
 
+    def make_purchases(self, amounts: list) -> int:
+        """Charge each amount in order; returns the count if all succeed.
+
+        The first failing charge re-raises its exception; the charges
+        before it stand, so a partial run leaves exactly the purchases
+        that succeeded.
+        """
+        ...
+
     def pay_balance(self, amount: float) -> float:
         """Pay down the balance; returns the new balance."""
         ...
@@ -56,6 +65,15 @@ class CreditManager(RemoteInterface):
 
     def find_credit_account(self, customer: str) -> CreditCard:
         """Find an account; AccountNotFoundException if none."""
+        ...
+
+    def credit_line_of(self, card: CreditCard) -> float:
+        """Remaining credit of a card passed back by remote reference.
+
+        The manager calls through the argument, so this works whether the
+        card arrives as a loopback stub (plain RMI) or as the live server
+        object (a batch-local reference, §4.4).
+        """
         ...
 
 
@@ -79,6 +97,13 @@ class CreditCardImpl(RemoteObject, CreditCard):
             if self._balance + amount > self._limit:
                 raise InsufficientCreditError(self.customer, amount)
             self._balance += amount
+
+    def make_purchases(self, amounts: list) -> int:
+        charged = 0
+        for amount in amounts:
+            self.make_purchase(amount)
+            charged += 1
+        return charged
 
     def pay_balance(self, amount: float) -> float:
         if amount <= 0:
@@ -110,6 +135,9 @@ class CreditManagerImpl(RemoteObject, CreditManager):
         if account is None:
             raise AccountNotFoundException(customer)
         return account
+
+    def credit_line_of(self, card: CreditCard) -> float:
+        return card.get_credit_line()
 
 
 def bank_policy() -> CustomPolicy:

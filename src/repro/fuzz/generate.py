@@ -1,0 +1,277 @@
+"""Seeded generation of random, well-typed batch programs.
+
+Each program picks one application domain (the batch root is one stub)
+and grows a straight-line script over typed registers:
+
+- **bank** — account creation/lookup (raising and non-raising), card
+  operations including over-limit purchases, a nested-list bulk
+  purchase, and remote-identity passing (``credit_line_of(card)``);
+- **linkedlist** — chained ``next_node`` traversals that sometimes walk
+  off the end (``IndexError``) with dependent reads behind them;
+- **fileserver** — navigation, metadata and content reads (restricted
+  files raise), deletions, and ``list_files`` cursors with random
+  sub-batches producing per-element results and exceptions;
+- **noop** — pure call-count programs (the side-effect baseline).
+
+Everything is driven by one ``random.Random(seed)`` stream, so a
+``(seed, index)`` pair names a program forever — that is what the CLI's
+``--seed`` replay and the shrinker's repro reports rely on.
+
+Policies are generated alongside: the two paper defaults plus two
+:class:`~repro.core.policies.CustomPolicy` variants whose rules draw
+from the domain's exception pool.  Rules are restricted to
+exception/method matching (no position-specific rules): positions are
+*recording* sequence numbers, which a naive-RMI client does not have, so
+position rules are outside the paper's equivalence claim.  REPEAT and
+RESTART are likewise excluded — re-running side effects is precisely
+what a sequence of individual calls cannot do.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.policies import (
+    AbortPolicy,
+    ContinuePolicy,
+    CustomPolicy,
+    ExceptionAction,
+)
+
+from repro.fuzz.program import Program, Reg, Step, validate_program
+
+#: Customers that exist in every bank world; "mallory" never does.
+BANK_CUSTOMERS = ("alice", "bob", "carol")
+BANK_UNKNOWN = ("mallory", "nobody")
+BANK_LIMIT = 1000.0
+
+#: Linked-list payloads (list length bounds the legal traversal depth).
+LIST_VALUES = (11, 22, 33, 44, 55)
+
+#: Flat directory for fileserver worlds; the restricted file raises
+#: AccessDeniedError on length/read_contents.
+FS_FILES = 5
+FS_TOTAL_BYTES = 600
+FS_RESTRICTED = ("file02.dat",)
+FS_KNOWN = tuple(f"file{i:02d}.dat" for i in range(FS_FILES))
+FS_UNKNOWN = ("ghost.dat", "missing.txt")
+
+DOMAINS = ("bank", "linkedlist", "fileserver", "noop")
+
+#: The policy axis (single source of truth — the CLI default and
+#: FuzzConfig default derive from this).
+POLICY_NAMES = ("abort", "continue", "custom-break", "custom-continue")
+
+_EXCEPTION_POOLS = {
+    "bank": (
+        "repro.apps.bank.AccountNotFoundException",
+        "repro.apps.bank.DuplicateAccountException",
+        "repro.apps.bank.InsufficientCreditError",
+        "builtins.ValueError",
+    ),
+    "linkedlist": ("builtins.IndexError",),
+    "fileserver": (
+        "repro.apps.fileserver.AccessDeniedError",
+        "builtins.FileNotFoundError",
+        "builtins.PermissionError",
+    ),
+    "noop": ("builtins.ValueError",),
+}
+
+#: Cursor sub-batch methods on RemoteFile (all value-returning).
+_FS_SUB_METHODS = (
+    "get_name", "is_directory", "last_modified", "length",
+    "read_contents", "delete",
+)
+
+
+def generate_program(seed: int, index: int, max_steps: int = 14) -> Program:
+    """Deterministically generate program *index* of corpus *seed*."""
+    # String seeds hash deterministically across processes (tuple seeds
+    # would go through PYTHONHASHSEED-salted hash()).
+    rng = random.Random(f"{seed}:{index}:brmi-fuzz")
+    domain = rng.choice(DOMAINS)
+    steps = _DOMAIN_BUILDERS[domain](rng, max_steps)
+    program = Program(
+        domain=domain, steps=tuple(steps), seed=seed, index=index
+    )
+    validate_program(program)
+    return program
+
+
+def generate_corpus(seed: int, programs: int, max_steps: int = 14):
+    """The first *programs* programs of corpus *seed*."""
+    return [
+        generate_program(seed, index, max_steps) for index in range(programs)
+    ]
+
+
+def policies_for(program: Program, names=None):
+    """The policy axis for one program: name -> policy instance.
+
+    The custom policies draw their rules from the program's domain
+    exception pool with the program's own rng stream, so replaying a
+    ``(seed, index)`` pair reproduces the exact policies too.
+    """
+    rng = random.Random(f"{program.seed}:{program.index}:brmi-fuzz-policy")
+    pool = _EXCEPTION_POOLS[program.domain]
+    custom_break = CustomPolicy(default_action=ExceptionAction.CONTINUE)
+    custom_break.set_action(rng.choice(pool), ExceptionAction.BREAK)
+    custom_continue = CustomPolicy(default_action=ExceptionAction.BREAK)
+    custom_continue.set_action(rng.choice(pool), ExceptionAction.CONTINUE)
+    axis = {
+        "abort": AbortPolicy(),
+        "continue": ContinuePolicy(),
+        "custom-break": custom_break,
+        "custom-continue": custom_continue,
+    }
+    assert tuple(axis) == POLICY_NAMES
+    if names is not None:
+        unknown = sorted(set(names) - set(axis))
+        if unknown:
+            from repro.fuzz.execute import FuzzHarnessError
+
+            raise FuzzHarnessError(
+                f"unknown policy name(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(sorted(axis))}"
+            )
+        axis = {name: axis[name] for name in names}
+    return axis
+
+
+# -- domain builders ---------------------------------------------------------
+
+
+class _Builder:
+    """Shared bookkeeping while growing one program's step list."""
+
+    def __init__(self, rng):
+        self.rng = rng
+        self.steps = []
+        self.seq = 0
+        self.segment = 0
+
+    def emit(self, target, method, args=(), kind="value", iface="",
+             cursor=0):
+        self.seq += 1
+        step = Step(
+            seq=self.seq,
+            target=target,
+            method=method,
+            args=tuple(args),
+            kind=kind,
+            result_iface=iface,
+            cursor=cursor,
+            segment=self.segment,
+        )
+        self.steps.append(step)
+        return self.seq
+
+    def maybe_break_segment(self, probability=0.18):
+        if self.steps and self.rng.random() < probability:
+            self.segment += 1
+
+
+def _build_bank(rng, max_steps):
+    b = _Builder(rng)
+    cards = []  # register seqs holding CreditCard results
+    total = rng.randint(3, max_steps)
+    while b.seq < total:
+        b.maybe_break_segment()
+        roll = rng.random()
+        if roll < 0.30 or not cards:
+            known = rng.random() < 0.75
+            name = rng.choice(BANK_CUSTOMERS if known else BANK_UNKNOWN)
+            method = rng.choice(
+                ("find_credit_account", "create_credit_account")
+            )
+            cards.append(
+                b.emit(0, method, (name,), kind="remote", iface="card")
+            )
+        elif roll < 0.45:
+            b.emit(0, "credit_line_of", (Reg(rng.choice(cards)),))
+        elif roll < 0.60:
+            b.emit(rng.choice(cards), "get_credit_line")
+        elif roll < 0.75:
+            b.emit(rng.choice(cards), "make_purchase", (_amount(rng),))
+        elif roll < 0.88:
+            amounts = [_amount(rng) for _ in range(rng.randint(1, 3))]
+            if rng.random() < 0.4:
+                amounts = tuple(amounts)
+            b.emit(rng.choice(cards), "make_purchases", (amounts,))
+        else:
+            b.emit(rng.choice(cards), "pay_balance", (_amount(rng),))
+    return b.steps
+
+
+def _amount(rng):
+    roll = rng.random()
+    if roll < 0.10:
+        return -rng.randint(1, 3) * 1.0  # ValueError path
+    if roll < 0.30:
+        return float(rng.randint(4, 12) * 100)  # often over the line
+    return float(rng.randint(1, 90))
+
+
+def _build_linkedlist(rng, max_steps):
+    b = _Builder(rng)
+    nodes = [0]
+    total = rng.randint(3, max_steps)
+    while b.seq < total:
+        b.maybe_break_segment()
+        if rng.random() < 0.55:
+            base = rng.choice(nodes)
+            nodes.append(
+                b.emit(base, "next_node", kind="remote", iface="node")
+            )
+        else:
+            b.emit(rng.choice(nodes), "get_value")
+    return b.steps
+
+
+def _build_fileserver(rng, max_steps):
+    b = _Builder(rng)
+    files = []
+    total = rng.randint(3, max_steps)
+    while b.seq < total:
+        b.maybe_break_segment()
+        roll = rng.random()
+        if roll < 0.22:
+            known = rng.random() < 0.7
+            name = rng.choice(FS_KNOWN if known else FS_UNKNOWN)
+            files.append(
+                b.emit(0, "get_file", (name,), kind="remote", iface="file")
+            )
+        elif roll < 0.30 and b.seq + 2 <= total:
+            cursor = b.emit(0, "list_files", kind="cursor", iface="file")
+            for method in rng.sample(
+                _FS_SUB_METHODS, rng.randint(1, min(3, total - b.seq))
+            ):
+                b.emit(cursor, method, cursor=cursor)
+        elif files:
+            target = rng.choice(files)
+            method = rng.choice(
+                ("get_name", "length", "read_contents", "last_modified",
+                 "is_directory", "delete")
+            )
+            b.emit(target, method)
+        else:
+            b.emit(0, rng.choice(("get_name", "last_modified", "length")))
+    return b.steps
+
+
+def _build_noop(rng, max_steps):
+    b = _Builder(rng)
+    total = rng.randint(2, max_steps)
+    while b.seq < total:
+        b.maybe_break_segment(0.12)
+        b.emit(0, "noop")
+    return b.steps
+
+
+_DOMAIN_BUILDERS = {
+    "bank": _build_bank,
+    "linkedlist": _build_linkedlist,
+    "fileserver": _build_fileserver,
+    "noop": _build_noop,
+}

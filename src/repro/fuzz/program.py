@@ -1,0 +1,206 @@
+"""The fuzzer's program model: randomized but well-typed batch programs.
+
+A :class:`Program` is a straight-line script over *registers*.  Register
+0 is the root stub of the program's application domain; every step's
+result occupies the register named by its ``seq``.  Steps reference
+earlier remote registers as targets and — via :class:`Reg` markers
+nested anywhere inside their literal arguments — as arguments, which is
+exactly the shape the batch recorder accepts (chained calls,
+remote-identity passing, nested data values).
+
+Programs are split into *segments*: the batch driver issues
+``flush_and_continue`` between segments and ``flush`` after the last,
+so a multi-segment program exercises chained batches and server-side
+sessions.  A step whose ``cursor`` field names an earlier cursor step is
+part of that cursor's sub-batch and must sit contiguously behind it
+(the recorder's §4.1 contiguity rule) — the generator and the shrinker
+both maintain that invariant, and :func:`validate_program` checks it.
+
+The model is deliberately independent of any transport or execution
+mode: the same program is interpreted by the naive-RMI oracle and
+recorded through the batch/plan proxies, and the outcomes are compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+#: Register id of the program's root stub.
+ROOT_REG = 0
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A reference to the remote result of an earlier step."""
+
+    seq: int
+
+    def __repr__(self):
+        return f"r{self.seq}"
+
+
+@dataclass(frozen=True)
+class Step:
+    """One remote invocation of the program.
+
+    ``kind`` mirrors the interface metadata: ``value`` steps produce
+    futures, ``remote`` steps produce new registers, ``cursor`` steps
+    produce iterable cursors whose sub-steps carry this step's seq in
+    their own ``cursor`` field.
+    """
+
+    seq: int
+    target: int
+    method: str
+    args: Tuple = ()
+    kind: str = "value"
+    result_iface: str = ""
+    cursor: int = 0
+    segment: int = 0
+
+    def arg_regs(self):
+        """Registers referenced anywhere in this step's arguments."""
+        return tuple(_regs_in(self.args))
+
+    def describe(self) -> str:
+        rendered = ", ".join(_render(arg) for arg in self.args)
+        prefix = f"seg{self.segment} " if self.segment else ""
+        sub = f" [in cursor r{self.cursor}]" if self.cursor else ""
+        return (
+            f"{prefix}r{self.seq} = r{self.target}.{self.method}({rendered})"
+            f" -> {self.kind}{sub}"
+        )
+
+
+@dataclass(frozen=True)
+class Program:
+    """A complete fuzz case: domain, steps, and provenance for replay."""
+
+    domain: str
+    steps: Tuple[Step, ...]
+    seed: int = 0
+    index: int = 0
+    notes: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def segments(self) -> int:
+        return (max((s.segment for s in self.steps), default=0)) + 1
+
+    def step(self, seq: int) -> Step:
+        for candidate in self.steps:
+            if candidate.seq == seq:
+                return candidate
+        raise KeyError(seq)
+
+    def sub_steps(self, cursor_seq: int):
+        return tuple(s for s in self.steps if s.cursor == cursor_seq)
+
+    def describe(self) -> str:
+        header = (
+            f"program #{self.index} (domain={self.domain}, seed={self.seed}, "
+            f"{len(self.steps)} steps, {self.segments} segment(s))"
+        )
+        lines = [header] + ["  " + step.describe() for step in self.steps]
+        return "\n".join(lines)
+
+    def without_steps(self, doomed) -> "Program":
+        """Drop *doomed* seqs plus everything depending on them.
+
+        Dependency closure covers targets, argument registers, and cursor
+        membership, so the result is always a valid program again.
+        """
+        doomed = set(doomed)
+        changed = True
+        while changed:
+            changed = False
+            for step in self.steps:
+                if step.seq in doomed:
+                    continue
+                needs = {step.target} | {r.seq for r in step.arg_regs()}
+                if step.cursor:
+                    needs.add(step.cursor)
+                needs.discard(ROOT_REG)
+                if needs & doomed:
+                    doomed.add(step.seq)
+                    changed = True
+        kept = tuple(s for s in self.steps if s.seq not in doomed)
+        return replace(self, steps=kept)
+
+    def merged_segments(self) -> "Program":
+        """The same steps as one unchained batch."""
+        return replace(
+            self, steps=tuple(replace(s, segment=0) for s in self.steps)
+        )
+
+
+def _regs_in(value):
+    if isinstance(value, Reg):
+        yield value
+    elif isinstance(value, (list, tuple, set, frozenset)):
+        for item in value:
+            yield from _regs_in(item)
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from _regs_in(item)
+
+
+def _render(value):
+    if isinstance(value, Reg):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        inner = ", ".join(_render(v) for v in value)
+        return f"[{inner}]" if isinstance(value, list) else f"({inner})"
+    return repr(value)
+
+
+def validate_program(program: Program) -> None:
+    """Raise ``ValueError`` when a program violates the model invariants.
+
+    The generator and shrinker only ever produce valid programs; this is
+    the executable statement of what "valid" means (and a unit-test
+    oracle for both).
+    """
+    seen = {ROOT_REG: "remote"}
+    segment = 0
+    previous_seq = 0
+    open_cursor = 0
+    for step in program.steps:
+        if step.seq <= previous_seq:
+            raise ValueError(f"step seqs must increase: {step.describe()}")
+        previous_seq = step.seq
+        if step.segment < segment:
+            raise ValueError(f"segments must be ordered: {step.describe()}")
+        if step.segment > segment:
+            segment = step.segment
+        wanted = "cursor" if step.cursor else "remote"
+        if seen.get(step.target) != wanted:
+            raise ValueError(f"undefined target register: {step.describe()}")
+        for reg in step.arg_regs():
+            if reg.seq not in seen or seen[reg.seq] != "remote":
+                raise ValueError(
+                    f"argument r{reg.seq} is not a remote register: "
+                    f"{step.describe()}"
+                )
+        if step.cursor:
+            owner = program.step(step.cursor)
+            if owner.kind != "cursor" or owner.segment != step.segment:
+                raise ValueError(f"bad cursor membership: {step.describe()}")
+            if open_cursor != step.cursor:
+                raise ValueError(
+                    f"cursor sub-steps must be contiguous: {step.describe()}"
+                )
+            if step.kind != "value":
+                raise ValueError(
+                    f"cursor sub-steps must return values: {step.describe()}"
+                )
+            if step.target != step.cursor:
+                raise ValueError(
+                    f"cursor sub-steps must target their cursor: "
+                    f"{step.describe()}"
+                )
+        else:
+            open_cursor = step.seq if step.kind == "cursor" else 0
+        if step.kind not in ("value", "remote", "cursor"):
+            raise ValueError(f"unknown step kind: {step.describe()}")
+        seen[step.seq] = "remote" if step.kind == "remote" else step.kind

@@ -1,0 +1,409 @@
+"""Corpus orchestration: worlds, the execution matrix, and reports.
+
+One :func:`run_corpus` call drives the whole differential experiment:
+
+    for each program:
+      for each policy:
+        oracle   = naive RMI on a localhost sim world   (fresh app state)
+        for each transport (sim LAN, sim WIRELESS, real TCP):
+          batch  = one-shot batch                        (fresh app state)
+          plan   = reuse_plans batch, run three times    (fresh app state
+                   per run, same client+server) so the same shape goes
+                   inline, then installs, then hits the plan cache
+          compare every run against the oracle
+
+Worlds are persistent (one server per transport for the whole corpus);
+state freshness comes from binding a new application instance under a
+new name for every run, and a new client (with a fresh plan memo) for
+every mode.  Divergences are shrunk to a minimal repro with
+:func:`repro.fuzz.shrink.shrink_program` before being reported.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.apps.bank import CreditManagerImpl
+from repro.apps.fileserver import make_directory
+from repro.apps.linkedlist import build_list
+from repro.apps.noop import NoOpImpl
+from repro.net import SimNetwork, TcpNetwork, preset
+from repro.rmi import RMIClient, RMIServer
+
+from repro.fuzz.execute import (
+    FuzzHarnessError,
+    compare_runs,
+    drop_call_injection,
+    run_batched,
+    run_oracle,
+    swap_policy_injection,
+)
+from repro.fuzz.generate import (
+    BANK_CUSTOMERS,
+    BANK_LIMIT,
+    FS_FILES,
+    FS_RESTRICTED,
+    FS_TOTAL_BYTES,
+    LIST_VALUES,
+    POLICY_NAMES,
+    generate_program,
+    policies_for,
+)
+from repro.fuzz.shrink import shrink_program
+
+TRANSPORTS = ("lan", "wireless", "tcp")
+MODES = ("batch", "plan")
+INJECTIONS = {
+    "drop-call": drop_call_injection,
+    "swap-policy": swap_policy_injection,
+}
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One reproducible differential experiment."""
+
+    seed: int = 0
+    programs: int = 20
+    max_steps: int = 14
+    transports: tuple = TRANSPORTS
+    policies: tuple = POLICY_NAMES
+    modes: tuple = MODES
+    plan_runs: int = 3
+    inject: str = ""
+    shrink: bool = True
+    check_traffic: bool = True
+    max_divergences: int = 3
+
+
+@dataclass
+class Divergence:
+    """One confirmed difference between a mode run and the oracle."""
+
+    program: object
+    transport: str
+    policy: str
+    mode: str
+    run_index: int
+    diffs: list
+    shrunk: object = None
+    shrunk_diffs: list = field(default_factory=list)
+    shrink_attempts: int = 0
+
+    def describe(self) -> str:
+        lines = [
+            f"DIVERGENCE seed={self.program.seed} program=#{self.program.index} "
+            f"transport={self.transport} policy={self.policy} "
+            f"mode={self.mode} run={self.run_index}",
+            self.program.describe(),
+        ]
+        lines += ["  diff: " + diff for diff in self.diffs]
+        if self.shrunk is not None:
+            lines.append(
+                f"shrunk repro ({len(self.shrunk.steps)} steps, "
+                f"{self.shrink_attempts} attempts):"
+            )
+            lines.append(self.shrunk.describe())
+            lines += ["  diff: " + diff for diff in self.shrunk_diffs]
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        shrunk = self.shrunk if self.shrunk is not None else self.program
+        diffs = self.diffs
+        if self.shrunk is not None and self.shrunk_diffs:
+            diffs = self.shrunk_diffs  # match the diffs to the listed repro
+        return {
+            "seed": self.program.seed,
+            "program": self.program.index,
+            "transport": self.transport,
+            "policy": self.policy,
+            "mode": self.mode,
+            "run": self.run_index,
+            "diffs": diffs,
+            "repro": shrunk.describe().splitlines(),
+        }
+
+
+@dataclass
+class FuzzReport:
+    """The corpus verdict plus enough accounting to trust the coverage."""
+
+    config: FuzzConfig
+    programs: int = 0
+    runs: int = 0
+    divergences: list = field(default_factory=list)
+    coverage: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> str:
+        cov = self.coverage
+        lines = [
+            f"fuzz: seed={self.config.seed} programs={self.programs} "
+            f"runs={self.runs} divergences={len(self.divergences)}",
+            f"  transports: {', '.join(sorted(cov.get('transports', ())))}",
+            f"  policies:   {', '.join(sorted(cov.get('policies', ())))}",
+            f"  domains:    {', '.join(sorted(cov.get('domains', ())))}",
+            "  plan paths: inline=%d installs=%d invocations=%d "
+            "cache_hits=%d" % (
+                cov.get("plan_inline", 0),
+                cov.get("plan_installs", 0),
+                cov.get("plan_invocations", 0),
+                cov.get("plan_cache_hits", 0),
+            ),
+        ]
+        return "\n".join(lines)
+
+
+class World:
+    """One transport universe: a network and a server that live for the
+    whole corpus, handing out fresh bindings and clients per run."""
+
+    def __init__(self, transport: str):
+        self.transport = transport
+        if transport == "tcp":
+            self.network = TcpNetwork()
+            self.server = RMIServer(
+                self.network, "tcp://127.0.0.1:0"
+            ).start()
+        else:
+            self.network = SimNetwork(conditions=preset(transport))
+            self.server = RMIServer(
+                self.network, f"sim://{transport}-server:1099"
+            ).start()
+        self._names = itertools.count()
+
+    def fresh_client(self) -> RMIClient:
+        return RMIClient(self.network, self.server.address)
+
+    def bind_fresh(self, domain: str):
+        """Bind a brand-new application instance; returns (name, reader)."""
+        impl, reader = _build_domain(domain)
+        name = f"{domain}-{next(self._names)}"
+        self.server.bind(name, impl)
+        return name, reader
+
+    def close(self) -> None:
+        self.server.close()
+        self.network.close()
+
+
+def _build_domain(domain: str):
+    """Fresh deterministic app state plus a post-state reader."""
+    if domain == "noop":
+        impl = NoOpImpl()
+        return impl, lambda: impl.calls
+    if domain == "bank":
+        impl = CreditManagerImpl(default_limit=BANK_LIMIT)
+        for customer in BANK_CUSTOMERS:
+            impl.create_credit_account(customer)
+
+        def read_bank():
+            return {
+                name: (card._balance, card._limit)
+                for name, card in sorted(impl._accounts.items())
+            }
+
+        return impl, read_bank
+    if domain == "linkedlist":
+        return build_list(LIST_VALUES), lambda: None
+    if domain == "fileserver":
+        impl = make_directory(
+            FS_FILES, FS_TOTAL_BYTES, restricted_names=FS_RESTRICTED
+        )
+        root = impl._node
+
+        def read_fs():
+            return sorted(
+                (name, len(node.contents), node.restricted)
+                for name, node in root.children.items()
+            )
+
+        return impl, read_fs
+    raise FuzzHarnessError(f"unknown domain {domain!r}")
+
+
+def run_corpus(config: FuzzConfig, log=None) -> FuzzReport:
+    """Run the full differential matrix for one corpus."""
+    unknown = sorted(set(config.transports) - set(TRANSPORTS))
+    if unknown:
+        raise FuzzHarnessError(
+            f"unknown transport(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(TRANSPORTS)}"
+        )
+    unknown = sorted(set(config.modes) - set(MODES))
+    if unknown:
+        raise FuzzHarnessError(
+            f"unknown mode(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(MODES)}"
+        )
+    inject = _injection_for(config)
+    report = FuzzReport(config=config)
+    coverage = report.coverage
+    coverage.update(
+        transports=set(), policies=set(), modes=set(), domains=set(),
+        plan_inline=0, plan_installs=0, plan_invocations=0,
+        plan_cache_hits=0,
+    )
+    worlds = {}
+    oracle_world = None
+    oracle_client = None
+    try:
+        for name in config.transports:
+            worlds[name] = World(name)
+        oracle_world = World("localhost")
+        oracle_client = oracle_world.fresh_client()
+        for index in range(config.programs):
+            program = generate_program(config.seed, index, config.max_steps)
+            report.programs += 1
+            coverage["domains"].add(program.domain)
+            if log is not None and index % 10 == 0:
+                log(f"program #{index} ({program.domain}, "
+                    f"{len(program.steps)} steps)")
+            for policy_name, policy in policies_for(
+                program, config.policies
+            ).items():
+                coverage["policies"].add(policy_name)
+                oracle = _oracle_run(oracle_world, oracle_client, program,
+                                     policy)
+                report.runs += 1
+                for transport in config.transports:
+                    coverage["transports"].add(transport)
+                    divergence = _check_program(
+                        worlds[transport], program, policy_name, policy,
+                        oracle, config, inject, report, coverage,
+                    )
+                    if divergence is not None:
+                        _shrink_divergence(
+                            divergence, worlds[transport], oracle_world,
+                            oracle_client, policy, config, inject,
+                        )
+                        report.divergences.append(divergence)
+                        if log is not None:
+                            log(divergence.describe())
+                        if len(report.divergences) >= config.max_divergences:
+                            return report
+    finally:
+        # Accumulated here so early returns (max_divergences) still
+        # report honest plan-path coverage in the failure summary.
+        for world in worlds.values():
+            cache_stats = world.server.plan_cache.stats.snapshot()
+            coverage["plan_cache_hits"] += cache_stats.hits
+        if oracle_client is not None:
+            oracle_client.close()
+        if oracle_world is not None:
+            oracle_world.close()
+        for world in worlds.values():
+            world.close()
+    return report
+
+
+def _injection_for(config: FuzzConfig):
+    if not config.inject:
+        return None
+    try:
+        return INJECTIONS[config.inject]
+    except KeyError:
+        raise FuzzHarnessError(
+            f"unknown injection {config.inject!r}; "
+            f"choose from {sorted(INJECTIONS)}"
+        ) from None
+
+
+def _oracle_run(world, client, program, policy):
+    name, reader = world.bind_fresh(program.domain)
+    stub = client.lookup(name)
+    result = run_oracle(program, stub, policy)
+    result.post_state = reader()
+    return result
+
+
+def _check_program(world, program, policy_name, policy, oracle, config,
+                   inject, report, coverage):
+    """Run all modes of one (program, policy, transport) cell.
+
+    Returns the first :class:`Divergence`, or None when everything
+    matched the oracle.
+    """
+    for mode in config.modes:
+        coverage["modes"].add(mode)
+        client = world.fresh_client()
+        try:
+            runs = config.plan_runs if mode == "plan" else 1
+            for run_index in range(runs):
+                result = _mode_run(
+                    world, client, program, policy, mode, inject
+                )
+                report.runs += 1
+                diffs = compare_runs(
+                    oracle, result, check_traffic=config.check_traffic
+                )
+                if diffs:
+                    return Divergence(
+                        program=program,
+                        transport=world.transport,
+                        policy=policy_name,
+                        mode=mode,
+                        run_index=run_index,
+                        diffs=diffs,
+                    )
+        finally:
+            if mode == "plan":
+                memo = client.plan_memo
+                coverage["plan_inline"] += memo.inline_flushes
+                coverage["plan_installs"] += memo.plan_installs
+                coverage["plan_invocations"] += memo.plan_invocations
+            client.close()
+    return None
+
+
+def _mode_run(world, client, program, policy, mode, inject):
+    name, reader = world.bind_fresh(program.domain)
+    stub = client.lookup(name)
+    result = run_batched(
+        program, stub, policy, reuse_plans=(mode == "plan"), inject=inject
+    )
+    result.post_state = reader()
+    return result
+
+
+def _shrink_divergence(divergence, world, oracle_world, oracle_client,
+                       policy, config, inject):
+    """Reduce a diverging program while it still diverges."""
+    if not config.shrink:
+        return
+    mode = divergence.mode
+    runs = config.plan_runs if mode == "plan" else 1
+    # Memoized on the rendered program so the post-shrink diff read-back
+    # reuses the accepted candidate's comparison instead of re-running it.
+    seen = {}
+
+    def diverges(candidate):
+        key = candidate.describe()
+        if key in seen:
+            return seen[key]
+        oracle = _oracle_run(oracle_world, oracle_client, candidate, policy)
+        client = world.fresh_client()
+        diffs = []
+        try:
+            for _ in range(runs):
+                result = _mode_run(
+                    world, client, candidate, policy, mode, inject
+                )
+                diffs = compare_runs(
+                    oracle, result, check_traffic=config.check_traffic
+                )
+                if diffs:
+                    break
+        finally:
+            client.close()
+        seen[key] = diffs
+        return diffs
+
+    shrunk, attempts = shrink_program(divergence.program, diverges)
+    divergence.shrunk = shrunk
+    divergence.shrink_attempts = attempts
+    divergence.shrunk_diffs = diverges(shrunk) or list(divergence.diffs)

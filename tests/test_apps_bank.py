@@ -58,6 +58,33 @@ class TestAccounts:
         with pytest.raises(ValueError):
             card.pay_balance(0.0)
 
+    def test_bulk_purchases_stop_at_first_failure(self, bank_env):
+        stub = bank_env.client.lookup("bank")
+        card = stub.find_credit_account("alice")
+        assert card.make_purchases([100.0, 200.0]) == 2
+        with pytest.raises(InsufficientCreditError):
+            card.make_purchases((300.0, 900.0, 1.0))
+        # The charge before the failing one stands; the one after never ran.
+        assert card.get_credit_line() == 400.0
+
+    def test_credit_line_of_accepts_a_remote_card(self, bank_env):
+        """Passing the card stub back by reference (§4.4-style): the
+        manager calls through the argument, whether it arrives as a
+        loopback stub (plain RMI) or a batch-local live object."""
+        stub = bank_env.client.lookup("bank")
+        card = stub.find_credit_account("alice")
+        card.make_purchase(250.0)
+        assert stub.credit_line_of(card) == 750.0
+
+    def test_credit_line_of_in_a_batch_matches_rmi(self, bank_env):
+        stub = bank_env.client.lookup("bank")
+        batch = create_batch(stub)
+        card = batch.find_credit_account("alice")
+        card.make_purchase(250.0)
+        line = batch.credit_line_of(card)
+        batch.flush()
+        assert line.get() == 750.0
+
 
 class TestSessions:
     def test_rmi_and_brmi_agree(self, bank_env):

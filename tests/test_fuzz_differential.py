@@ -1,0 +1,150 @@
+"""The differential conformance property, bounded for tier-1.
+
+The full corpus (``python -m repro.fuzz --seed 0 --programs 50``) runs
+in CI's fuzz-smoke job; here a smaller matrix keeps the tier-1 suite
+fast while still covering every policy, both execution modes, a
+simulated and a real transport, and the install-then-hit plan path.
+The injection tests prove the harness has teeth: a planted wire-level
+bug must be caught and shrunk to a tiny repro.
+"""
+
+import pytest
+
+from repro.fuzz import FuzzConfig, run_corpus
+from repro.fuzz.__main__ import main as fuzz_main
+
+
+class TestBoundedCorpus:
+    @pytest.fixture(scope="class")
+    def report(self):
+        config = FuzzConfig(
+            seed=0,
+            programs=6,
+            transports=("lan", "tcp"),
+        )
+        return run_corpus(config)
+
+    def test_no_divergences(self, report):
+        details = "\n".join(d.describe() for d in report.divergences)
+        assert report.ok, details
+
+    def test_matrix_was_actually_covered(self, report):
+        coverage = report.coverage
+        assert coverage["transports"] == {"lan", "tcp"}
+        assert coverage["policies"] == {
+            "abort", "continue", "custom-break", "custom-continue"
+        }
+        assert coverage["modes"] == {"batch", "plan"}
+
+    def test_plan_mode_exercised_all_three_wire_paths(self, report):
+        coverage = report.coverage
+        assert coverage["plan_inline"] > 0
+        assert coverage["plan_installs"] > 0
+        assert coverage["plan_invocations"] > 0
+        assert coverage["plan_cache_hits"] > 0
+
+    def test_run_accounting(self, report):
+        assert report.programs == 6
+        # 4 policies x (1 oracle + 2 transports x (1 batch + 3 plan runs))
+        assert report.runs == 6 * 4 * (1 + 2 * 4)
+
+
+class TestWirelessPreset:
+    def test_wireless_sim_matches_oracle(self):
+        config = FuzzConfig(
+            seed=11, programs=3, transports=("wireless",)
+        )
+        report = run_corpus(config)
+        details = "\n".join(d.describe() for d in report.divergences)
+        assert report.ok, details
+
+
+class TestInjectedBug:
+    def test_drop_call_is_caught_and_shrunk(self):
+        config = FuzzConfig(
+            seed=0,
+            programs=8,
+            transports=("lan",),
+            inject="drop-call",
+        )
+        report = run_corpus(config)
+        assert not report.ok, "a dropped batched call must not go unnoticed"
+        divergence = report.divergences[0]
+        assert divergence.shrunk is not None
+        assert len(divergence.shrunk.steps) <= 5
+        assert divergence.shrunk_diffs
+
+    def test_swap_policy_is_caught_and_shrunk(self):
+        config = FuzzConfig(
+            seed=0,
+            programs=20,
+            transports=("lan",),
+            policies=("abort",),
+            inject="swap-policy",
+        )
+        report = run_corpus(config)
+        assert not report.ok, "silently changing the policy must be caught"
+        divergence = report.divergences[0]
+        assert len(divergence.shrunk.steps) <= 5
+
+    def test_unknown_injection_is_rejected(self):
+        from repro.fuzz import FuzzHarnessError
+
+        with pytest.raises(FuzzHarnessError):
+            run_corpus(FuzzConfig(programs=1, inject="nonsense"))
+
+
+class TestCli:
+    def test_green_corpus_exits_zero(self, capsys):
+        code = fuzz_main([
+            "--seed", "1", "--programs", "2", "--transports", "lan",
+            "--quiet",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "divergences=0" in out
+
+    def test_injection_exits_nonzero_with_repro(self, capsys, tmp_path):
+        repro_path = tmp_path / "repro.json"
+        code = fuzz_main([
+            "--seed", "0", "--programs", "8", "--transports", "lan",
+            "--inject-bug", "drop-call", "--quiet",
+            "--repro-out", str(repro_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DIVERGENCE" in out
+        assert repro_path.exists()
+
+    def test_transport_typo_is_a_clean_error(self, capsys):
+        code = fuzz_main([
+            "--seed", "0", "--programs", "1", "--transports", "lann",
+            "--quiet",
+        ])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "lann" in err and "wireless" in err
+
+    def test_mode_typo_is_a_clean_error(self, capsys):
+        code = fuzz_main([
+            "--seed", "0", "--programs", "1", "--transports", "lan",
+            "--modes", "plna", "--quiet",
+        ])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "plna" in err and "plan" in err
+
+    def test_policy_typo_is_a_clean_error(self, capsys):
+        code = fuzz_main([
+            "--seed", "0", "--programs", "1", "--transports", "lan",
+            "--policies", "abort,continu", "--quiet",
+        ])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "continu" in err and "custom-break" in err
+
+    def test_show_prints_programs(self, capsys):
+        code = fuzz_main(["--seed", "0", "--programs", "2", "--show"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("program #") == 2

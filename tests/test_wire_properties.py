@@ -5,7 +5,8 @@ import math
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.wire import decode, decode_many, encode, encode_many
+from repro.wire import canonical_set_order, decode, decode_many, encode, encode_many
+from repro.wire.plans import ParamSlot
 from repro.wire.refs import RemoteRef
 
 from tests.support import Point
@@ -28,20 +29,22 @@ refs = st.builds(
 
 points = st.builds(Point, x=st.integers(), y=st.integers())
 
+slots = st.builds(ParamSlot, index=st.integers(min_value=0, max_value=2**20))
+
 hashables = st.one_of(
     scalars, st.tuples(st.integers(), st.text(max_size=8))
 )
 
 
-def trees(leaves):
+def trees(leaves, set_leaves=hashables):
     return st.recursive(
         leaves,
         lambda children: st.one_of(
             st.lists(children, max_size=5),
             st.tuples(children, children),
             st.dictionaries(hashables, children, max_size=4),
-            st.sets(hashables, max_size=4),
-            st.frozensets(hashables, max_size=4),
+            st.sets(set_leaves, max_size=4),
+            st.frozensets(set_leaves, max_size=4),
         ),
         max_leaves=25,
     )
@@ -81,6 +84,51 @@ def test_int_roundtrip_unbounded(value):
 @settings(max_examples=150, deadline=None)
 def test_encoding_is_deterministic(value):
     assert encode(value) == encode(value)
+
+
+@given(trees(
+    st.one_of(scalars, refs, points, slots),
+    # ParamSlot and RemoteRef are frozen/hashable, so they belong inside
+    # the generated sets too — decode of a slot/ref inside a set is
+    # exactly the shape plan parameters take.
+    set_leaves=st.one_of(hashables, refs, slots),
+))
+@settings(max_examples=300, deadline=None)
+def test_plan_leaves_roundtrip_in_any_container(value):
+    """ParamSlot and RemoteRef survive arbitrary nesting in lists,
+    tuples, dicts, sets and frozensets — the shapes plan compilation
+    produces when lifting arguments out of recorded batches."""
+    assert decode(encode(value)) == value
+
+
+@given(
+    # Unique by equality (not by type+repr): False == 0, so a list with
+    # both would build a one-element set whose surviving representative —
+    # and therefore its encoding — depends on insertion order.
+    st.lists(st.one_of(slots, refs, hashables), min_size=1, max_size=8,
+             unique=True),
+    st.randoms(use_true_random=False),
+)
+@settings(max_examples=200, deadline=None)
+def test_set_encoding_ignores_insertion_order(elements, rng):
+    """Plan hashing depends on this: the same set contents must encode
+    to the same bytes (and canonicalize to the same element order) no
+    matter how the set was built."""
+    shuffled = list(elements)
+    rng.shuffle(shuffled)
+    assert encode(set(shuffled)) == encode(set(elements))
+    assert encode(frozenset(shuffled)) == encode(frozenset(elements))
+    assert canonical_set_order(set(shuffled)) == canonical_set_order(
+        set(elements)
+    )
+
+
+@given(st.sets(st.one_of(hashables, slots), max_size=8))
+@settings(max_examples=200, deadline=None)
+def test_canonical_order_is_a_permutation(value):
+    ordered = canonical_set_order(value)
+    assert len(ordered) == len(value)
+    assert set(ordered) == value
 
 
 @given(st.binary(max_size=256))
