@@ -1,0 +1,106 @@
+"""Quickstart for the asyncio server runtime (pipelining + backpressure).
+
+Starts one pipelined server, then shows the three things the runtime
+adds over the threaded transports:
+
+1. many concurrent batch flushes multiplexing over ONE connection
+   (threaded client code, untouched — only the Network changed);
+2. an asyncio-native client gathering calls over the same kind of
+   connection;
+3. admission control shedding load with a typed, safely-retryable
+   ``ServerBusyError``, observable in the live metrics.
+
+Run:  python examples/aio_server_tour.py
+"""
+
+import asyncio
+import threading
+import time
+
+from repro import AioNetwork, RMIClient, RMIServer, ServerBusyError, create_batch
+from repro.aio import AioRMIClient, LoadTargetImpl
+
+
+def main():
+    # -- server side: one swap, everything else unchanged -----------------
+    network = AioNetwork(max_workers=8, queue_depth=16)
+    server = RMIServer(network, "tcp://127.0.0.1:0").start()
+    server.bind("load", LoadTargetImpl())
+
+    # -- 1) concurrent batches pipeline over one connection ----------------
+    client = RMIClient(network, server.address)  # channel is pipelined
+    stub = client.lookup("load")
+
+    def flush_batches(count):
+        for _ in range(count):
+            batch = create_batch(stub)
+            future = batch.work(0.02)  # 20 ms of simulated backend work
+            batch.flush()
+            future.get()
+
+    threads = [threading.Thread(target=flush_batches, args=(8,))
+               for _ in range(3)]
+    started = time.monotonic()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.monotonic() - started
+    # 24 batches x 20 ms = 480 ms of service time; pipelining over the
+    # shared connection runs them in roughly a third of that wall clock.
+    print(f"pipelined: 3 threads x 8 batches over one connection "
+          f"-> 24 batches in {elapsed * 1e3:.0f} ms "
+          f"(sequential would be >= 480 ms)")
+
+    # -- 2) asyncio-native client: gather over one socket ------------------
+    aclient = AioRMIClient(network, server.address)
+
+    async def gather_calls():
+        load = await aclient.lookup("load")
+        results = await asyncio.gather(
+            *(aclient.call_stub(load, "work", (0.02,)) for _ in range(8))
+        )
+        return results
+
+    started = time.monotonic()
+    results = asyncio.run(gather_calls())
+    elapsed = time.monotonic() - started
+    print(f"async: gathered {len(results)} concurrent work() calls "
+          f"in {elapsed * 1e3:.0f} ms")
+
+    # -- 3) backpressure: a saturated server sheds, typed and retryable ----
+    tiny = AioNetwork(max_workers=1, queue_depth=1)
+    small = RMIServer(tiny, "tcp://127.0.0.1:0").start()
+    small.bind("load", LoadTargetImpl())
+    tiny_client = RMIClient(tiny, small.address)
+    tiny_stub = tiny_client.lookup("load")
+    shed = 0
+
+    def hammer():
+        nonlocal shed
+        try:
+            tiny_stub.work(0.2)
+        except ServerBusyError:
+            shed += 1
+
+    burst = [threading.Thread(target=hammer) for _ in range(6)]
+    for t in burst:
+        t.start()
+    for t in burst:
+        t.join()
+    print(f"backpressure: burst of 6 against capacity 2 -> "
+          f"{shed} shed with ServerBusyError (retry-safe: never executed)")
+    print(f"small server metrics: {small.metrics}")
+
+    print(f"main server metrics: {server.metrics}")
+    tiny_client.close()
+    small.stop()
+    tiny.close()
+    aclient.close()
+    client.close()
+    server.stop()
+    network.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -36,6 +36,7 @@ See DESIGN.md for the system inventory (including the plan layer) and
 EXPERIMENTS.md for the paper-figure reproductions.
 """
 
+from repro.aio import AioNetwork, AioRMIClient, ServerMetrics
 from repro.core import (
     AbortPolicy,
     BatchAbortedError,
@@ -81,7 +82,9 @@ from repro.rmi import (
     RemoteInterface,
     RemoteObject,
     RMIClient,
+    RMICore,
     RMIServer,
+    ServerBusyError,
     Stub,
 )
 from repro.wire import ParamSlot, RemoteRef, register_exception, serializable
@@ -90,6 +93,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AbortPolicy",
+    "AioNetwork",
+    "AioRMIClient",
     "BatchAbortedError",
     "BatchError",
     "BatchPlan",
@@ -125,8 +130,11 @@ __all__ = [
     "RemoteObject",
     "RemoteRef",
     "RMIClient",
+    "RMICore",
     "RMIServer",
     "serializable",
+    "ServerBusyError",
+    "ServerMetrics",
     "SimClock",
     "SimNetwork",
     "Stopwatch",

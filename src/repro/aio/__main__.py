@@ -1,0 +1,103 @@
+"""CLI entry points for the load harness.
+
+Two subcommands, composable across processes so client and server don't
+share a GIL:
+
+``serve`` — stand up a load-target server and print its address::
+
+    python -m repro.aio serve --transport aio --workers 64 --queue-depth 256
+
+  The first stdout line is ``ADDRESS <tcp://...>``; the process serves
+  until stdin reaches EOF (close the pipe to stop it), then prints a
+  final ``METRICS <snapshot>`` line for the aio transport.
+
+``load`` — drive an address with the multi-client harness::
+
+    python -m repro.aio load --address tcp://127.0.0.1:5001 \
+        --transport aio --clients 32 --streams 6 --duration 2 --delay 0.05
+
+  Prints one JSON object (a :class:`~repro.aio.loadgen.LoadReport`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.aio.loadgen import SERVICE_NAME, LoadTargetImpl, run_load
+from repro.aio.network import AioNetwork
+from repro.net.tcp import TcpNetwork
+from repro.rmi import RMIServer
+
+
+def _network(kind: str, args) -> object:
+    if kind == "aio":
+        return AioNetwork(
+            max_workers=args.workers, queue_depth=args.queue_depth
+        )
+    if kind == "tcp":
+        return TcpNetwork()
+    raise SystemExit(f"unknown transport {kind!r}; want aio or tcp")
+
+
+def _serve(args) -> int:
+    network = _network(args.transport, args)
+    server = RMIServer(network, f"tcp://127.0.0.1:{args.port}").start()
+    server.bind(SERVICE_NAME, LoadTargetImpl())
+    print(f"ADDRESS {server.address}", flush=True)
+    sys.stdin.read()  # serve until the parent closes our stdin
+    metrics = server.metrics
+    server.stop()
+    network.close()
+    if metrics is not None:
+        print(f"METRICS {metrics}", flush=True)
+    return 0
+
+
+def _load(args) -> int:
+    network = _network(args.transport, args)
+    report = run_load(
+        network, args.address,
+        clients=args.clients, streams=args.streams,
+        duration=args.duration, delay=args.delay, warmup=args.warmup,
+    )
+    network.close()
+    print(json.dumps(report.as_dict()), flush=True)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.aio",
+        description="load harness for the BRMI server runtimes",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run a load-target server")
+    serve.add_argument("--transport", default="aio", choices=("aio", "tcp"))
+    serve.add_argument("--port", type=int, default=0)
+    serve.add_argument("--workers", type=int, default=64)
+    serve.add_argument("--queue-depth", type=int, default=256)
+    serve.set_defaults(func=_serve)
+
+    load = sub.add_parser("load", help="drive a server with batch load")
+    load.add_argument("--address", required=True)
+    load.add_argument("--transport", default="aio", choices=("aio", "tcp"))
+    load.add_argument("--workers", type=int, default=64,
+                      help="(aio) unused client-side; kept for symmetry")
+    load.add_argument("--queue-depth", type=int, default=256,
+                      help="(aio) unused client-side; kept for symmetry")
+    load.add_argument("--clients", type=int, default=8)
+    load.add_argument("--streams", type=int, default=4)
+    load.add_argument("--duration", type=float, default=2.0)
+    load.add_argument("--delay", type=float, default=0.05)
+    load.add_argument("--warmup", type=float, default=0.5)
+    load.set_defaults(func=_load)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

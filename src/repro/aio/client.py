@@ -1,0 +1,138 @@
+"""`AioRMIClient`: the asyncio-native RMI client.
+
+One connection, many concurrent conversations: every ``await`` on
+:meth:`AioRMIClient.call` rides the pipelining envelope, so an asyncio
+program can ``asyncio.gather`` dozens of remote calls — or whole batch
+flushes — over a single socket and they complete out of order.
+
+The marshalling rules are not duplicated: the client wraps a full
+synchronous :class:`~repro.rmi.client.RMIClient` (the **sync facade**,
+reachable at :attr:`AioRMIClient.sync`) whose channel is the pipelined
+:class:`~repro.aio.channel.AioChannel`.  The async methods reuse the
+facade's encode/decode halves around an awaitable transport hop, and the
+facade itself is what threaded code uses — ``create_batch(...)``, plan
+reuse, everything — sharing the same multiplexed connection::
+
+    network = AioNetwork()
+    aclient = AioRMIClient(network, server.address)
+
+    # asyncio side: concurrent calls over one socket
+    names = await aclient.list_names()
+    results = await asyncio.gather(*(aclient.call(oid, "work") for oid in ...))
+
+    # threaded side, same connection: untouched batch/plan code
+    stub = aclient.sync.lookup("service")
+    batch = create_batch(stub, reuse_plans=True)
+
+Stubs unmarshalled from async results are bound to the sync facade, so
+invoking them directly blocks — do that from worker threads, or go
+through :meth:`call` with the stub's ref for the awaitable path.
+"""
+
+from __future__ import annotations
+
+from repro.aio.channel import AioChannel
+from repro.aio.network import AioNetwork
+from repro.net.transport import TransportError
+from repro.rmi.client import RMIClient
+from repro.rmi.exceptions import CommunicationError
+from repro.rmi.protocol import REGISTRY_OBJECT_ID
+from repro.rmi.stub import Stub
+
+
+class AioRMIClient:
+    """Asyncio-native RMI client multiplexing one pipelined connection."""
+
+    def __init__(self, network: AioNetwork, address: str,
+                 from_host: str = "client", callback_server=None):
+        self._facade = RMIClient(
+            network, address, from_host=from_host,
+            callback_server=callback_server,
+        )
+        channel = self._facade.channel
+        if not isinstance(channel, AioChannel):
+            self._facade.close()
+            raise TypeError(
+                "AioRMIClient requires an AioNetwork transport, got a "
+                f"channel of type {type(channel).__name__}"
+            )
+        self._channel = channel
+
+    # -- identity & facade ----------------------------------------------
+
+    @property
+    def address(self) -> str:
+        return self._facade.address
+
+    @property
+    def sync(self) -> RMIClient:
+        """The synchronous facade sharing this client's connection.
+
+        A full :class:`RMIClient`: existing ``create_batch``/plan-reuse
+        code runs over it untouched, with flushes from different threads
+        pipelining instead of serializing.
+        """
+        return self._facade
+
+    @property
+    def stats(self):
+        """Traffic counters for the shared channel."""
+        return self._facade.stats
+
+    @property
+    def plan_memo(self):
+        """The facade's memory of flushed batch shapes (plan reuse)."""
+        return self._facade.plan_memo
+
+    @property
+    def pipelined(self) -> bool:
+        """Whether the server accepted the multiplexing envelope."""
+        return self._channel.pipelined
+
+    # -- awaitable calls -------------------------------------------------
+
+    async def call(self, object_id: int, method: str, args=(), kwargs=None):
+        """Invoke a remote method; awaitable from any event loop.
+
+        Same semantics as :meth:`RMIClient.call`: application exceptions
+        re-raise as themselves, middleware failures as
+        :class:`~repro.rmi.exceptions.RemoteError` subclasses.
+        """
+        payload = self._facade._encode_request(object_id, method, args, kwargs)
+        try:
+            raw = await self._channel.request_async(payload)
+        except TransportError as exc:
+            raise CommunicationError(
+                f"remote call {method!r} to {self.address!r} failed: {exc}"
+            ) from exc
+        return self._facade._decode_response(raw)
+
+    async def call_stub(self, stub: Stub, method: str, args=(), kwargs=None):
+        """Awaitable invocation of a stub's method (stubs are sync-bound)."""
+        return await self.call(stub.remote_ref.object_id, method, args, kwargs)
+
+    async def lookup(self, name: str) -> Stub:
+        """Resolve *name* in the server's registry to a stub."""
+        result = await self.call(REGISTRY_OBJECT_ID, "lookup", (name,))
+        if not isinstance(result, Stub):
+            raise CommunicationError(
+                f"registry returned {type(result).__name__} for {name!r}, "
+                "expected a remote reference"
+            )
+        return result
+
+    async def list_names(self):
+        """All names bound in the server's registry."""
+        return await self.call(REGISTRY_OBJECT_ID, "list_names", ())
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        self._facade.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False

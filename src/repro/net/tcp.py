@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 
 from repro.wire.framing import frame, read_frame
 from repro.net.transport import (
@@ -25,7 +26,7 @@ from repro.net.transport import (
 )
 
 
-def _parse(address: str):
+def parse_tcp_address(address: str):
     """Split ``tcp://host:port`` into (host, port)."""
     if address.startswith("tcp://"):
         address = address[len("tcp://") :]
@@ -33,6 +34,9 @@ def _parse(address: str):
     if not host or not port.isdigit():
         raise ValueError(f"bad tcp address {address!r}; want tcp://host:port")
     return host, int(port)
+
+
+_parse = parse_tcp_address
 
 
 class TcpNetwork(Network):
@@ -80,7 +84,9 @@ class TcpListener(Listener):
         actual_host, actual_port = self._sock.getsockname()
         super().__init__(f"tcp://{actual_host}:{actual_port}")
         self._closed = threading.Event()
+        self._conn_lock = threading.Lock()
         self._threads = []
+        self._conns = set()
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name=f"tcp-accept-{actual_port}", daemon=True
         )
@@ -97,41 +103,87 @@ class TcpListener(Listener):
                 conn, _peer = self._sock.accept()
             except OSError:
                 return  # listener socket closed
-            thread = threading.Thread(
-                target=self._serve_connection, args=(conn,), daemon=True
-            )
+            with self._conn_lock:
+                if self._closed.is_set():
+                    conn.close()
+                    return
+                self._conns.add(conn)
+                # Reap finished connection threads so a long-lived listener
+                # serving many short connections doesn't accumulate them.
+                self._threads = [t for t in self._threads if t.is_alive()]
+                thread = threading.Thread(
+                    target=self._serve_connection, args=(conn,), daemon=True
+                )
+                self._threads.append(thread)
             thread.start()
-            self._threads.append(thread)
 
     def _serve_connection(self, conn: socket.socket):
-        with conn:
-            while not self._closed.is_set():
-                try:
-                    payload = read_frame(conn)
-                except Exception:
-                    return  # peer vanished mid-frame; drop the connection
-                if payload == b"":
-                    return  # clean EOF
-                try:
-                    response = self._handler(payload)
-                except Exception:
-                    # The RMI dispatcher encodes its own error responses; a
-                    # raw exception here means the handler itself is broken.
-                    # Close the connection so the client sees a transport
-                    # error instead of hanging.
-                    return
-                try:
-                    conn.sendall(frame(response))
-                except OSError:
-                    return
-                self.stats.record_request(len(payload), len(response))
+        try:
+            with conn:
+                while not self._closed.is_set():
+                    try:
+                        payload = read_frame(conn)
+                    except Exception:
+                        return  # peer vanished mid-frame; drop the connection
+                    if payload == b"":
+                        return  # clean EOF
+                    try:
+                        response = self._handler(payload)
+                    except Exception:
+                        # The RMI dispatcher encodes its own error responses; a
+                        # raw exception here means the handler itself is broken.
+                        # Close the connection so the client sees a transport
+                        # error instead of hanging.
+                        return
+                    try:
+                        conn.sendall(frame(response))
+                    except OSError:
+                        return
+                    self.stats.record_request(len(payload), len(response))
+        finally:
+            with self._conn_lock:
+                self._conns.discard(conn)
 
     def close(self) -> None:
+        """Stop serving, idempotently.
+
+        Closes the listening socket, force-closes every live
+        per-connection socket (unblocking their ``recv``), and joins the
+        accept thread and connection threads, so repeated start/stop
+        cycles leak neither daemon threads nor ports.  Joins are bounded:
+        a handler stuck in user code cannot wedge shutdown.
+        """
+        if self._closed.is_set():
+            return
         self._closed.set()
+        try:
+            # close() alone does not wake a thread blocked in accept();
+            # shutdown() does (EINVAL), so the join below can succeed.
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self._sock.close()
         except OSError:
             pass
+        with self._conn_lock:
+            conns = list(self._conns)
+            threads = list(self._threads)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._accept_thread.join(timeout=2.0)
+        deadline = time.monotonic() + 2.0
+        for thread in threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        with self._conn_lock:
+            self._threads = [t for t in self._threads if t.is_alive()]
 
 
 class TcpChannel(Channel):

@@ -1,6 +1,7 @@
 """RMI substrate: the distributed-object middleware under BRMI."""
 
 from repro.rmi.client import RMIClient
+from repro.rmi.dispatch import RMICore
 from repro.rmi.exceptions import (
     AlreadyBoundError,
     CommunicationError,
@@ -12,6 +13,7 @@ from repro.rmi.exceptions import (
     RegistryError,
     RemoteApplicationError,
     RemoteError,
+    ServerBusyError,
 )
 from repro.rmi.objects import ObjectTable
 from repro.rmi.protocol import INVOKE_BATCH, REGISTRY_OBJECT_ID, CallRequest, CallResponse
@@ -50,7 +52,9 @@ __all__ = [
     "RemoteInterface",
     "RemoteObject",
     "RMIClient",
+    "RMICore",
     "RMIServer",
+    "ServerBusyError",
     "Stub",
     "interface_names",
     "lookup_interface",

@@ -94,18 +94,30 @@ class RMIClient(MarshalContext):
         themselves; middleware/transport failures raise
         :class:`~repro.rmi.exceptions.RemoteError` subclasses.
         """
-        wire_args, wire_kwargs = marshal_args(args, kwargs, self)
-        request = CallRequest(object_id, method, wire_args, wire_kwargs)
-        try:
-            payload = encode(request)
-        except Exception as exc:
-            raise MarshalError(f"cannot encode request: {exc}") from exc
+        payload = self._encode_request(object_id, method, args, kwargs)
         try:
             raw = self._channel.request(payload)
         except TransportError as exc:
             raise CommunicationError(
                 f"remote call {method!r} to {self._address!r} failed: {exc}"
             ) from exc
+        return self._decode_response(raw)
+
+    def _encode_request(self, object_id, method, args=(), kwargs=None) -> bytes:
+        """Marshal and encode one request to wire bytes.
+
+        Split out of :meth:`call` so the asyncio client can reuse the
+        marshalling rules around its own (awaitable) transport hop.
+        """
+        wire_args, wire_kwargs = marshal_args(args, kwargs, self)
+        request = CallRequest(object_id, method, wire_args, wire_kwargs)
+        try:
+            return encode(request)
+        except Exception as exc:
+            raise MarshalError(f"cannot encode request: {exc}") from exc
+
+    def _decode_response(self, raw: bytes):
+        """Decode wire bytes to an unmarshalled value (or raise it)."""
         try:
             response = decode(raw)
         except Exception as exc:

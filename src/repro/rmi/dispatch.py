@@ -1,0 +1,342 @@
+"""The transport-agnostic RMI dispatch core.
+
+:class:`RMICore` owns everything a server needs *except* a listener: the
+exported-object table, the naming registry at object id 0, the marshalling
+context, and the request dispatcher that routes ordinary calls and the
+batching pseudo-methods (``__invoke_batch__``, ``__invoke_plan__``,
+``__install_plan__``).
+
+The single entry point is :meth:`RMICore.handle` — bytes in, bytes out,
+never raises.  It is **re-entrant**: any number of transport threads (the
+thread-per-connection TCP listener, the asyncio runtime's worker pool, or
+a test calling it directly) may invoke it concurrently.  All shared state
+behind it is individually locked: the object table, the plan cache, the
+session store, and the loopback-client map.
+
+Both server front-ends build on this core: :class:`~repro.rmi.server.
+RMIServer` adds a synchronous listener lifecycle, and the asyncio runtime
+(:mod:`repro.aio`) drives the same core from its bounded worker pool.
+
+The executor is imported lazily so the RMI substrate stays usable without
+the batching layer (and to keep the package dependency graph acyclic).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.net.transport import Channel, host_of
+from repro.rmi.exceptions import (
+    MarshalError,
+    NoSuchMethodError,
+    NoSuchObjectError,
+    PlanInvalidatedError,
+)
+from repro.rmi.marshal import MarshalContext, marshal, unmarshal
+from repro.rmi.objects import ObjectTable
+from repro.rmi.protocol import (
+    INVOKE_BATCH,
+    INVOKE_PLAN,
+    PSEUDO_METHODS,
+    REGISTRY_OBJECT_ID,
+    CallRequest,
+    CallResponse,
+)
+from repro.rmi.registry import RegistryImpl
+from repro.rmi.remote import interface_names, remote_interfaces, remote_methods
+from repro.rmi.stub import Stub
+from repro.wire import decode, encode
+from repro.wire.refs import RemoteRef
+
+
+class RMICore(MarshalContext):
+    """One exported-object space and its request dispatcher.
+
+    Transport-free: a front-end wires :meth:`handle` to a listener and
+    reports middleware charges by installing a sink via
+    :meth:`set_charge_sink`.
+    """
+
+    def __init__(self, network, address: str, plan_capacity: int = None):
+        self._network = network
+        self._address = address
+        self._plan_capacity = plan_capacity
+        self.host = host_of(address)
+        self._objects = ObjectTable(address)
+        self._registry = RegistryImpl()
+        self._loopback_clients = {}
+        self._batch_executor = None
+        self._plan_runtime = None
+        self._charge_sink = None
+        self._lock = threading.Lock()
+        # The registry must land at the well-known id before anything else.
+        ref = self._objects.export(self._registry)
+        assert ref.object_id == REGISTRY_OBJECT_ID
+
+    # -- identity --------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        return self._address
+
+    @property
+    def registry(self) -> RegistryImpl:
+        """Direct (local) access to the naming registry."""
+        return self._registry
+
+    @property
+    def objects(self) -> ObjectTable:
+        """The exported-object table (tests and the executor use this)."""
+        return self._objects
+
+    def _adopt_address(self, address: str) -> None:
+        """Adopt the transport-resolved address (ephemeral-port support),
+        so refs minted afterwards carry the reachable endpoint."""
+        self._address = address
+        self.host = host_of(address)
+        self._objects._endpoint = address
+
+    # -- exporting and binding -------------------------------------------
+
+    def export(self, obj) -> RemoteRef:
+        """Make *obj* remotely reachable; idempotent per object."""
+        return self._objects.export(obj)
+
+    def bind(self, name: str, obj) -> RemoteRef:
+        """Export *obj* and register it in the naming service."""
+        ref = self.export(obj)
+        self._registry.rebind(name, obj)
+        return ref
+
+    # -- MarshalContext ----------------------------------------------------
+
+    def make_stub(self, ref: RemoteRef) -> Stub:
+        """Build a stub for an incoming ref.
+
+        Deliberately mirrors the Java RMI quirk of §4.4: even when the ref
+        points at an object in *this* server, the caller gets a loopback
+        stub that re-enters through the transport — it does NOT get the
+        local object back.  The BRMI executor bypasses this by resolving
+        batch-local references through its own table.
+        """
+        client = self._loopback_client(ref.endpoint)
+        return client.make_stub(ref)
+
+    def charge(self, kind: str, count: int = 1) -> None:
+        sink = self._charge_sink
+        if sink is not None:
+            sink(kind, count)
+
+    def set_charge_sink(self, sink) -> None:
+        """Install (or clear) where middleware CPU charges are reported.
+
+        The front-end points this at its listener while serving; the core
+        silently drops charges when no sink is installed — including the
+        window where requests race a server drain.
+        """
+        self._charge_sink = sink
+
+    # -- dispatch ------------------------------------------------------------
+
+    def handle(self, payload: bytes) -> bytes:
+        """Transport handler: one request in, one response out.
+
+        Must never raise — every failure becomes an error response.
+        Re-entrant; call it from as many transport threads as you like.
+        """
+        try:
+            request = decode(payload)
+            if not isinstance(request, CallRequest):
+                raise MarshalError(
+                    f"expected CallRequest, got {type(request).__name__}"
+                )
+        except Exception as exc:
+            return self._encode_response(
+                CallResponse(MarshalError(f"undecodable request: {exc}"), True)
+            )
+        try:
+            value = self._dispatch(request)
+            response = CallResponse(value, False)
+        except Exception as exc:  # noqa: BLE001 - everything crosses the wire
+            response = CallResponse(exc, True)
+        return self._encode_response(response)
+
+    def _dispatch(self, request: CallRequest):
+        if request.method in PSEUDO_METHODS:
+            return self._dispatch_pseudo(request)
+        target = self._objects.lookup(request.object_id)
+        specs = self._method_specs(target)
+        if request.method not in specs:
+            raise NoSuchMethodError(request.method, interface_names(target))
+        args = unmarshal(request.args, self)
+        kwargs = unmarshal(request.kwargs, self)
+        method = getattr(target, request.method)
+        result = method(*args, **kwargs)
+        return marshal(result, self)
+
+    def _dispatch_pseudo(self, request: CallRequest):
+        """Route the batching pseudo-methods to their runtimes.
+
+        For the plan methods, a missing root object becomes the typed
+        :class:`~repro.rmi.exceptions.PlanInvalidatedError` here rather
+        than a bare ``NoSuchObjectError``: the client's cached plan (and
+        memo entry) are pointed at an object that no longer exists, and
+        the typed error is what lets it distinguish "re-record against a
+        fresh root" from transient middleware failures.  Only
+        ``__invoke_plan__`` gets that conversion: an install (and the
+        inline path) carries the full script, so nothing cached went
+        stale and the ordinary ``NoSuchObjectError`` keeps its meaning.
+
+        Argument arity is pinned here so only the protocol's own fields
+        can reach the runtimes — a hostile extra positional (e.g. the
+        executor's internal ``validated`` flag) must not be injectable
+        from the wire.
+        """
+        args = request.args
+        if request.method == INVOKE_BATCH:
+            self._require_arity(request, len(args) == 4)
+            target = self._objects.lookup(request.object_id)
+            executor = self._batch_executor_instance()
+            return executor.invoke_batch(target, *args)
+        self._require_arity(request, len(args) == 2)
+        runtime = self._plan_runtime_instance()
+        if request.method == INVOKE_PLAN:
+            try:
+                target = self._objects.lookup(request.object_id)
+            except NoSuchObjectError:
+                raise PlanInvalidatedError(self._plan_digest_of(request)) from None
+            return runtime.invoke(target, *args)
+        target = self._objects.lookup(request.object_id)
+        return runtime.install(target, *args)
+
+    @staticmethod
+    def _require_arity(request: CallRequest, ok: bool) -> None:
+        if not ok:
+            raise MarshalError(
+                f"{request.method} received {len(request.args)} arguments"
+            )
+
+    @staticmethod
+    def _plan_digest_of(request: CallRequest) -> str:
+        digest = request.args[0] if request.args else None
+        return digest if isinstance(digest, str) else "?"
+
+    def _method_specs(self, target):
+        specs = {}
+        for iface in remote_interfaces(target):
+            specs.update(remote_methods(iface))
+        return specs
+
+    def _encode_response(self, response: CallResponse) -> bytes:
+        try:
+            return encode(response)
+        except Exception as exc:
+            # The value (or exception) would not encode; degrade to a
+            # marshalling error the client can decode for sure.
+            fallback = CallResponse(
+                MarshalError(f"response not encodable: {exc}"), True
+            )
+            return encode(fallback)
+
+    # -- internals --------------------------------------------------------
+
+    def _batch_executor_instance(self):
+        # Double-checked: the hot dispatch path must not serialize on the
+        # core lock just to re-read an already-initialized field.
+        executor = self._batch_executor
+        if executor is not None:
+            return executor
+        from repro.core.executor import BatchExecutor
+
+        with self._lock:
+            if self._batch_executor is None:
+                self._batch_executor = BatchExecutor(self)
+            return self._batch_executor
+
+    @property
+    def plan_cache(self):
+        """The server's compiled-plan cache (created on first use)."""
+        return self._plan_runtime_instance().cache
+
+    def _plan_runtime_instance(self):
+        runtime = self._plan_runtime
+        if runtime is not None:
+            return runtime
+        from repro.plan.cache import PlanCache
+        from repro.plan.runtime import PlanRuntime
+
+        executor = self._batch_executor_instance()
+        with self._lock:
+            if self._plan_runtime is None:
+                if self._plan_capacity is None:
+                    cache = PlanCache()
+                else:
+                    cache = PlanCache(self._plan_capacity)
+                self._plan_runtime = PlanRuntime(executor, cache)
+            return self._plan_runtime
+
+    def _loopback_client(self, endpoint: str):
+        from repro.rmi.client import RMIClient
+
+        with self._lock:
+            client = self._loopback_clients.get(endpoint)
+            if client is None:
+                network = self._network
+                if endpoint == self._address and getattr(
+                    network, "direct_loopback", False
+                ):
+                    # Pool-served transports opt in to in-process
+                    # loopback: a handler invoking a stub that points
+                    # back at this server must not block its worker on a
+                    # nested request that needs a second worker from the
+                    # same bounded pool — with the pool saturated by
+                    # re-entrant requests that deadlocks.  The direct
+                    # channel re-enters handle() on the calling thread:
+                    # same marshalling, same dispatch, no extra worker.
+                    network = _DirectLoopbackNetwork(self, network)
+                client = RMIClient(network, endpoint, from_host=self.host)
+                self._loopback_clients[endpoint] = client
+            return client
+
+    def _close_loopback_clients(self) -> None:
+        with self._lock:
+            clients = list(self._loopback_clients.values())
+            self._loopback_clients.clear()
+        for client in clients:
+            client.close()
+
+
+class _DirectChannel(Channel):
+    """In-process loopback: request() dispatches on the calling thread.
+
+    Skips the socket (so the listener's traffic stats don't see these
+    requests) but not the middleware: the payload still decodes,
+    dispatches, and re-encodes through :meth:`RMICore.handle`, keeping
+    the §4.4 stub-not-local-object semantics intact.
+    """
+
+    def __init__(self, core: RMICore):
+        super().__init__()
+        self._core = core
+
+    def request(self, payload: bytes) -> bytes:
+        response = self._core.handle(payload)
+        self.stats.record_request(len(payload), len(response))
+        return response
+
+    def close(self) -> None:
+        pass
+
+
+class _DirectLoopbackNetwork:
+    """Network adapter handing out direct channels for one core's own
+    address and delegating every other endpoint to the real network."""
+
+    def __init__(self, core: RMICore, network):
+        self._core = core
+        self._network = network
+
+    def connect(self, address: str, from_host: str = "client"):
+        if address == self._core.address:
+            return _DirectChannel(self._core)
+        return self._network.connect(address, from_host)

@@ -32,6 +32,26 @@ class CommunicationError(RemoteError):
 
 
 @register_exception
+class ServerBusyError(RemoteError):
+    """The server shed this request at admission control (overload).
+
+    Raised client-side from the call (or batch ``flush()``) that was shed.
+    Admission happens *before* dispatch, so a shed request never began
+    executing — retrying it is always safe, even for side-effecting calls.
+    """
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        super().__init__(capacity)
+
+    def __str__(self):
+        return (
+            f"server busy: admission queue full "
+            f"({self.capacity} requests in flight)"
+        )
+
+
+@register_exception
 class NoSuchObjectError(RemoteError):
     """The request named an object id absent from the server's table."""
 

@@ -1,84 +1,61 @@
-"""The server-side RMI runtime.
+"""The server-side RMI runtime: a dispatch core plus a listener lifecycle.
 
-An :class:`RMIServer` owns an object table, a naming registry at object
-id 0, and a listener on its transport.  Dispatch enforces the remote-
-interface boundary (only declared methods are callable), applies the
-marshalling rules both ways, and — because every exported object supports
-batched invocation, like the paper's extended ``UnicastRemoteObject`` —
-routes ``__invoke_batch__`` to the BRMI executor.
+An :class:`RMIServer` is a :class:`~repro.rmi.dispatch.RMICore` (object
+table, naming registry at object id 0, marshalling rules, pseudo-method
+routing) bound to a listener on its transport.  Which transport decides
+the serving model:
 
-The executor is imported lazily so the RMI substrate stays usable without
-the batching layer (and to keep the package dependency graph acyclic).
+- :class:`~repro.net.sim.SimNetwork` — deterministic virtual time;
+- :class:`~repro.net.tcp.TcpNetwork` — one thread per connection,
+  requests on a connection strictly sequential;
+- :class:`~repro.aio.AioNetwork` — asyncio accept loop, per-connection
+  request pipelining, bounded worker pool with admission control.
+
+The dispatch core is re-entrant, so the same server code serves all
+three unchanged.
 """
 
 from __future__ import annotations
 
 import threading
 
-from repro.net.transport import host_of
-from repro.rmi.exceptions import (
-    MarshalError,
-    NoSuchMethodError,
-    NoSuchObjectError,
-    PlanInvalidatedError,
-)
-from repro.rmi.marshal import MarshalContext, marshal, unmarshal
-from repro.rmi.objects import ObjectTable
-from repro.rmi.protocol import (
-    INVOKE_BATCH,
-    INVOKE_PLAN,
-    PSEUDO_METHODS,
-    REGISTRY_OBJECT_ID,
-    CallRequest,
-    CallResponse,
-)
-from repro.rmi.registry import RegistryImpl
-from repro.rmi.remote import interface_names, remote_interfaces, remote_methods
-from repro.rmi.stub import Stub
-from repro.wire import decode, encode
-from repro.wire.refs import RemoteRef
+from repro.rmi.dispatch import RMICore
 
 
-class RMIServer(MarshalContext):
+class RMIServer(RMICore):
     """One exported-object space reachable at one address."""
 
     def __init__(self, network, address: str, plan_capacity: int = None):
-        self._network = network
-        self._address = address
-        self._plan_capacity = plan_capacity
-        self.host = host_of(address)
-        self._objects = ObjectTable(address)
-        self._registry = RegistryImpl()
+        super().__init__(network, address, plan_capacity)
         self._listener = None
-        self._loopback_clients = {}
-        self._batch_executor = None
-        self._plan_runtime = None
-        self._lock = threading.Lock()
-        # The registry must land at the well-known id before anything else.
-        ref = self._objects.export(self._registry)
-        assert ref.object_id == REGISTRY_OBJECT_ID
+        self._last_listener = None
+        self._lifecycle_lock = threading.Lock()
 
     # -- lifecycle -------------------------------------------------------
 
     @property
-    def address(self) -> str:
-        return self._address
-
-    @property
-    def registry(self) -> RegistryImpl:
-        """Direct (local) access to the naming registry."""
-        return self._registry
-
-    @property
-    def objects(self) -> ObjectTable:
-        """The exported-object table (tests and the executor use this)."""
-        return self._objects
-
-    @property
     def stats(self):
-        """Aggregate traffic counters across all accepted requests."""
-        self._require_started()
-        return self._listener.stats
+        """Aggregate traffic counters across all accepted requests.
+
+        Stays readable after :meth:`stop` (the last listener's counters
+        are retained) so shutdown cannot race a stats reader mid-flight;
+        raises only if the server was never started.
+        """
+        listener = self._listener or self._last_listener
+        if listener is None:
+            raise RuntimeError(f"server at {self._address!r} is not started")
+        return listener.stats
+
+    @property
+    def metrics(self):
+        """Live runtime metrics snapshot, when the transport keeps one.
+
+        Only the asyncio runtime does (in-flight, queued, served, shed,
+        service-time percentiles); other transports return ``None``.
+        """
+        listener = self._listener or self._last_listener
+        snapshot = getattr(listener, "metrics", None)
+        return snapshot
 
     def start(self) -> "RMIServer":
         """Begin serving; returns self so construction can chain.
@@ -87,210 +64,42 @@ class RMIServer(MarshalContext):
         transport resolves the real port and the server adopts it, so
         refs minted afterwards carry the reachable endpoint.
         """
-        if self._listener is not None:
-            raise RuntimeError(f"server at {self._address!r} already started")
-        self._listener = self._network.listen(self._address, self._handle)
-        if self._listener.address != self._address:
-            self._address = self._listener.address
-            self.host = host_of(self._address)
-            self._objects._endpoint = self._address
+        with self._lifecycle_lock:
+            if self._listener is not None:
+                raise RuntimeError(f"server at {self._address!r} already started")
+            self._listener = self._network.listen(self._address, self.handle)
+            if self._listener.address != self._address:
+                self._adopt_address(self._listener.address)
+            self.set_charge_sink(self._listener.charge)
         return self
 
-    def close(self) -> None:
-        if self._listener is not None:
-            self._listener.close()
+    def stop(self) -> None:
+        """Stop serving: close the listener and drain, idempotently.
+
+        Safe against requests racing the drain: dispatch keeps working
+        while the transport completes in-flight requests (the asyncio
+        listener drains gracefully; the TCP listener joins its threads),
+        charges are dropped once the listener is gone, and :attr:`stats`
+        remains readable afterwards.  Calling ``stop()`` twice — or from
+        two threads at once — is a no-op the second time.
+        """
+        with self._lifecycle_lock:
+            listener = self._listener
             self._listener = None
-        with self._lock:
-            clients = list(self._loopback_clients.values())
-            self._loopback_clients.clear()
-        for client in clients:
-            client.close()
+            if listener is not None:
+                self._last_listener = listener
+            self.set_charge_sink(None)
+        if listener is not None:
+            listener.close()
+        self._close_loopback_clients()
+
+    def close(self) -> None:
+        """Alias of :meth:`stop` (context-manager friendly)."""
+        self.stop()
 
     def __enter__(self):
         return self
 
     def __exit__(self, *exc_info):
-        self.close()
+        self.stop()
         return False
-
-    # -- exporting and binding -------------------------------------------
-
-    def export(self, obj) -> RemoteRef:
-        """Make *obj* remotely reachable; idempotent per object."""
-        return self._objects.export(obj)
-
-    def bind(self, name: str, obj) -> RemoteRef:
-        """Export *obj* and register it in the naming service."""
-        ref = self.export(obj)
-        self._registry.rebind(name, obj)
-        return ref
-
-    # -- MarshalContext ----------------------------------------------------
-
-    def make_stub(self, ref: RemoteRef) -> Stub:
-        """Build a stub for an incoming ref.
-
-        Deliberately mirrors the Java RMI quirk of §4.4: even when the ref
-        points at an object in *this* server, the caller gets a loopback
-        stub that re-enters through the transport — it does NOT get the
-        local object back.  The BRMI executor bypasses this by resolving
-        batch-local references through its own table.
-        """
-        client = self._loopback_client(ref.endpoint)
-        return client.make_stub(ref)
-
-    def charge(self, kind: str, count: int = 1) -> None:
-        if self._listener is not None:
-            self._listener.charge(kind, count)
-
-    # -- dispatch ------------------------------------------------------------
-
-    def _handle(self, payload: bytes) -> bytes:
-        """Transport handler: one request in, one response out.
-
-        Must never raise — every failure becomes an error response.
-        """
-        try:
-            request = decode(payload)
-            if not isinstance(request, CallRequest):
-                raise MarshalError(
-                    f"expected CallRequest, got {type(request).__name__}"
-                )
-        except Exception as exc:
-            return self._encode_response(
-                CallResponse(MarshalError(f"undecodable request: {exc}"), True)
-            )
-        try:
-            value = self._dispatch(request)
-            response = CallResponse(value, False)
-        except Exception as exc:  # noqa: BLE001 - everything crosses the wire
-            response = CallResponse(exc, True)
-        return self._encode_response(response)
-
-    def _dispatch(self, request: CallRequest):
-        if request.method in PSEUDO_METHODS:
-            return self._dispatch_pseudo(request)
-        target = self._objects.lookup(request.object_id)
-        specs = self._method_specs(target)
-        if request.method not in specs:
-            raise NoSuchMethodError(request.method, interface_names(target))
-        args = unmarshal(request.args, self)
-        kwargs = unmarshal(request.kwargs, self)
-        method = getattr(target, request.method)
-        result = method(*args, **kwargs)
-        return marshal(result, self)
-
-    def _dispatch_pseudo(self, request: CallRequest):
-        """Route the batching pseudo-methods to their runtimes.
-
-        For the plan methods, a missing root object becomes the typed
-        :class:`~repro.rmi.exceptions.PlanInvalidatedError` here rather
-        than a bare ``NoSuchObjectError``: the client's cached plan (and
-        memo entry) are pointed at an object that no longer exists, and
-        the typed error is what lets it distinguish "re-record against a
-        fresh root" from transient middleware failures.  Only
-        ``__invoke_plan__`` gets that conversion: an install (and the
-        inline path) carries the full script, so nothing cached went
-        stale and the ordinary ``NoSuchObjectError`` keeps its meaning.
-
-        Argument arity is pinned here so only the protocol's own fields
-        can reach the runtimes — a hostile extra positional (e.g. the
-        executor's internal ``validated`` flag) must not be injectable
-        from the wire.
-        """
-        args = request.args
-        if request.method == INVOKE_BATCH:
-            self._require_arity(request, len(args) == 4)
-            target = self._objects.lookup(request.object_id)
-            executor = self._batch_executor_instance()
-            return executor.invoke_batch(target, *args)
-        self._require_arity(request, len(args) == 2)
-        runtime = self._plan_runtime_instance()
-        if request.method == INVOKE_PLAN:
-            try:
-                target = self._objects.lookup(request.object_id)
-            except NoSuchObjectError:
-                raise PlanInvalidatedError(self._plan_digest_of(request)) from None
-            return runtime.invoke(target, *args)
-        target = self._objects.lookup(request.object_id)
-        return runtime.install(target, *args)
-
-    @staticmethod
-    def _require_arity(request: CallRequest, ok: bool) -> None:
-        if not ok:
-            raise MarshalError(
-                f"{request.method} received {len(request.args)} arguments"
-            )
-
-    @staticmethod
-    def _plan_digest_of(request: CallRequest) -> str:
-        digest = request.args[0] if request.args else None
-        return digest if isinstance(digest, str) else "?"
-
-    def _method_specs(self, target):
-        specs = {}
-        for iface in remote_interfaces(target):
-            specs.update(remote_methods(iface))
-        return specs
-
-    def _encode_response(self, response: CallResponse) -> bytes:
-        try:
-            return encode(response)
-        except Exception as exc:
-            # The value (or exception) would not encode; degrade to a
-            # marshalling error the client can decode for sure.
-            fallback = CallResponse(
-                MarshalError(f"response not encodable: {exc}"), True
-            )
-            return encode(fallback)
-
-    # -- internals --------------------------------------------------------
-
-    def _batch_executor_instance(self):
-        # Double-checked: the hot dispatch path must not serialize on the
-        # server lock just to re-read an already-initialized field.
-        executor = self._batch_executor
-        if executor is not None:
-            return executor
-        from repro.core.executor import BatchExecutor
-
-        with self._lock:
-            if self._batch_executor is None:
-                self._batch_executor = BatchExecutor(self)
-            return self._batch_executor
-
-    @property
-    def plan_cache(self):
-        """The server's compiled-plan cache (created on first use)."""
-        return self._plan_runtime_instance().cache
-
-    def _plan_runtime_instance(self):
-        runtime = self._plan_runtime
-        if runtime is not None:
-            return runtime
-        from repro.plan.cache import PlanCache
-        from repro.plan.runtime import PlanRuntime
-
-        executor = self._batch_executor_instance()
-        with self._lock:
-            if self._plan_runtime is None:
-                if self._plan_capacity is None:
-                    cache = PlanCache()
-                else:
-                    cache = PlanCache(self._plan_capacity)
-                self._plan_runtime = PlanRuntime(executor, cache)
-            return self._plan_runtime
-
-    def _loopback_client(self, endpoint: str):
-        from repro.rmi.client import RMIClient
-
-        with self._lock:
-            client = self._loopback_clients.get(endpoint)
-            if client is None:
-                client = RMIClient(self._network, endpoint, from_host=self.host)
-                self._loopback_clients[endpoint] = client
-            return client
-
-    def _require_started(self):
-        if self._listener is None:
-            raise RuntimeError(f"server at {self._address!r} is not started")

@@ -1,0 +1,323 @@
+"""The RMI stack over the asyncio runtime: serving model and lifecycle.
+
+The dispatch core is the same object the threaded transports use, so
+these tests focus on what the runtime adds: pipelined batches, worker
+pool + admission control, graceful drain, metrics, and the idempotent
+``stop()`` contract.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.aio import AioNetwork, AioRMIClient, LoadTargetImpl
+from repro.core import create_batch
+from repro.rmi import RMIClient, RMIServer, ServerBusyError
+
+from tests.support import BoomError, CounterImpl, IdentityServiceImpl, make_container
+
+
+@pytest.fixture
+def aio():
+    network = AioNetwork(max_workers=4, queue_depth=16)
+    server = RMIServer(network, "tcp://127.0.0.1:0").start()
+    server.bind("counter", CounterImpl())
+    server.bind("container", make_container())
+    server.bind("identity", IdentityServiceImpl())
+    server.bind("load", LoadTargetImpl())
+    client = RMIClient(network, server.address)
+    yield network, server, client
+    client.close()
+    network.close()
+
+
+class TestRmiOverAio:
+    def test_basic_calls(self, aio):
+        _net, _server, client = aio
+        stub = client.lookup("counter")
+        assert stub.increment(3) == 3
+        assert stub.current() == 3
+
+    def test_exceptions_cross_the_runtime(self, aio):
+        _net, _server, client = aio
+        with pytest.raises(BoomError):
+            client.lookup("counter").boom("over aio")
+
+    def test_remote_references(self, aio):
+        _net, _server, client = aio
+        item = client.lookup("container").get_item("item1")
+        assert item.score() == 1
+
+    def test_batched_calls(self, aio):
+        _net, _server, client = aio
+        batch = create_batch(client.lookup("counter"))
+        futures = [batch.increment(1) for _ in range(5)]
+        batch.flush()
+        assert [f.get() for f in futures] == [1, 2, 3, 4, 5]
+
+    def test_identity_preserved(self, aio):
+        _net, _server, client = aio
+        batch = create_batch(client.lookup("identity"))
+        created = batch.create()
+        outcome = batch.use(created)
+        batch.flush()
+        assert outcome.get() is True
+
+    def test_chained_batches(self, aio):
+        _net, _server, client = aio
+        batch = create_batch(client.lookup("counter"))
+        first = batch.increment(10)
+        batch.flush_and_continue()
+        assert first.get() == 10
+        second = batch.increment(5)
+        batch.flush()
+        assert second.get() == 15
+
+    def test_loopback_stub_call_cannot_deadlock_the_pool(self):
+        """A handler invoking a stub that points back at this server
+        (§4.4) must not consume a second worker: with one worker and a
+        nested transport hop this would deadlock forever."""
+        network = AioNetwork(max_workers=1, queue_depth=4)
+        try:
+            server = RMIServer(network, "tcp://127.0.0.1:0").start()
+            server.bind("identity", IdentityServiceImpl())
+            client = RMIClient(network, server.address)
+            stub = client.lookup("identity")
+            created = stub.create()
+            created.increment(7)
+            # poke() calls current() on its stub argument server-side.
+            assert stub.poke(created) == 7
+            client.close()
+        finally:
+            network.close()
+
+    def test_concurrent_batches_one_connection(self, aio):
+        """Flushes from many threads pipeline over the shared channel."""
+        _net, server, client = aio
+        stub = client.lookup("counter")
+        amounts = list(range(1, 9))
+
+        def flush_one(amount):
+            batch = create_batch(stub)
+            future = batch.increment(amount)
+            batch.flush()
+            return future.get()
+
+        results = []
+        threads = [
+            threading.Thread(target=lambda a=a: results.append(flush_one(a)))
+            for a in amounts
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Interleaving order is free; the final value is not.
+        assert max(results) == sum(amounts)
+        assert server.objects.lookup(
+            client.lookup("counter").remote_ref.object_id
+        ).value == sum(amounts)
+
+
+class TestMetrics:
+    def test_served_and_percentiles(self, aio):
+        _net, server, client = aio
+        stub = client.lookup("load")
+        for _ in range(5):
+            stub.work(0.01)
+        metrics = server.metrics
+        assert metrics.served >= 6  # lookup + 5 works
+        assert metrics.shed == 0
+        assert metrics.in_flight == 0
+        assert metrics.queued == 0
+        assert metrics.p99_ms >= metrics.p50_ms > 0.0
+        assert "served=" in str(metrics)
+
+    def test_threaded_transports_expose_none(self):
+        from repro.net import TcpNetwork
+
+        network = TcpNetwork()
+        try:
+            server = RMIServer(network, "tcp://127.0.0.1:0").start()
+            assert server.metrics is None
+            server.stop()
+        finally:
+            network.close()
+
+
+class TestAdmissionControl:
+    def test_overload_sheds_with_typed_error(self):
+        network = AioNetwork(max_workers=1, queue_depth=1)
+        try:
+            server = RMIServer(network, "tcp://127.0.0.1:0").start()
+            server.bind("load", LoadTargetImpl())
+            client = RMIClient(network, server.address)
+            stub = client.lookup("load")
+            outcomes = []
+
+            def call():
+                try:
+                    outcomes.append(("ok", stub.work(0.3)))
+                except ServerBusyError as exc:
+                    outcomes.append(("shed", exc.capacity))
+
+            threads = [threading.Thread(target=call) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            served = [o for o in outcomes if o[0] == "ok"]
+            shed = [o for o in outcomes if o[0] == "shed"]
+            # Capacity is workers + queue = 2: at least one burst request
+            # must have been shed, and every shed carries the capacity.
+            assert shed and all(capacity == 2 for _, capacity in shed)
+            assert served  # admitted requests completed normally
+            assert server.metrics.shed == len(shed)
+            client.close()
+        finally:
+            network.close()
+
+    def test_shed_batch_flush_is_retryable(self):
+        """A shed request never executed: retrying cannot double-apply."""
+        network = AioNetwork(max_workers=1, queue_depth=0)
+        try:
+            server = RMIServer(network, "tcp://127.0.0.1:0").start()
+            counter = CounterImpl()
+            server.bind("counter", counter)
+            server.bind("load", LoadTargetImpl())
+            client = RMIClient(network, server.address)
+            load_stub = client.lookup("load")
+            counter_stub = client.lookup("counter")
+
+            hold = threading.Thread(target=lambda: load_stub.work(0.5))
+            hold.start()
+            time.sleep(0.1)  # let the slow call occupy the only worker
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    batch = create_batch(counter_stub)
+                    future = batch.increment(1)
+                    batch.flush()
+                    break
+                except ServerBusyError:
+                    time.sleep(0.1)
+            hold.join()
+            assert future.get() == 1
+            assert counter.value == 1  # exactly once, despite retries
+            assert attempts >= 2  # the first attempt was genuinely shed
+            client.close()
+        finally:
+            network.close()
+
+
+class TestLifecycle:
+    def test_stop_is_idempotent_and_stats_survive(self):
+        network = AioNetwork()
+        server = RMIServer(network, "tcp://127.0.0.1:0").start()
+        server.bind("counter", CounterImpl())
+        client = RMIClient(network, server.address)
+        client.lookup("counter").increment(1)
+        requests_before = server.stats.requests
+        server.stop()
+        server.stop()
+        server.close()  # alias, also idempotent
+        assert server.stats.requests == requests_before
+        client.close()
+        network.close()
+
+    def test_stats_before_start_raise(self):
+        network = AioNetwork()
+        try:
+            server = RMIServer(network, "tcp://127.0.0.1:0")
+            with pytest.raises(RuntimeError):
+                _ = server.stats
+        finally:
+            network.close()
+
+    def test_graceful_drain_completes_in_flight(self):
+        network = AioNetwork(max_workers=2, queue_depth=4, drain_timeout=5.0)
+        try:
+            server = RMIServer(network, "tcp://127.0.0.1:0").start()
+            server.bind("load", LoadTargetImpl())
+            client = RMIClient(network, server.address)
+            stub = client.lookup("load")
+            result = {}
+
+            def slow_call():
+                result["value"] = stub.work(0.4)
+
+            worker = threading.Thread(target=slow_call)
+            worker.start()
+            time.sleep(0.1)  # the request is in flight now
+            server.stop()
+            worker.join(timeout=5.0)
+            # The drain let the admitted request finish and ship its reply.
+            assert result.get("value") == 1
+            with pytest.raises(Exception):
+                RMIClient(network, server.address)  # no longer accepting
+            client.close()
+        finally:
+            network.close()
+
+    def test_restart_after_stop(self):
+        network = AioNetwork()
+        try:
+            server = RMIServer(network, "tcp://127.0.0.1:0").start()
+            server.bind("counter", CounterImpl())
+            address = server.address
+            server.stop()
+            server.start()
+            client = RMIClient(network, server.address)
+            assert client.lookup("counter").increment(2) == 2
+            client.close()
+            server.stop()
+        finally:
+            network.close()
+
+
+class TestAsyncClient:
+    def test_gathered_calls(self, aio):
+        import asyncio
+
+        net, _server, _client = aio
+        aclient = AioRMIClient(net, _server.address)
+
+        async def drive():
+            stub = await aclient.lookup("counter")
+            results = []
+            for amount in (1, 2, 3):
+                results.append(await aclient.call_stub(stub, "increment", (amount,)))
+            currents = await asyncio.gather(
+                *(aclient.call_stub(stub, "current") for _ in range(4))
+            )
+            return results, currents
+
+        results, currents = asyncio.run(drive())
+        assert results == [1, 3, 6]
+        assert currents == [6, 6, 6, 6]
+        aclient.close()
+
+    def test_sync_facade_shares_connection(self, aio):
+        net, _server, _client = aio
+        aclient = AioRMIClient(net, _server.address)
+        stub = aclient.sync.lookup("counter")
+        batch = create_batch(stub)
+        future = batch.increment(9)
+        batch.flush()
+        assert future.get() == 9
+        assert aclient.stats.requests >= 2
+        assert aclient.pipelined
+        aclient.close()
+
+    def test_requires_aio_network(self):
+        from repro.net import TcpNetwork
+
+        network = TcpNetwork()
+        try:
+            listener = network.listen("tcp://127.0.0.1:0", lambda p: p)
+            with pytest.raises(TypeError):
+                AioRMIClient(network, listener.address)
+        finally:
+            network.close()

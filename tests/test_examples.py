@@ -52,6 +52,14 @@ class TestExamples:
         assert "hit_rate=100.0%" in result.stdout
         assert "installs=1" in result.stdout
 
+    def test_aio_server_tour(self):
+        result = run_example("aio_server_tour.py")
+        assert result.returncode == 0, result.stderr
+        assert "24 batches" in result.stdout
+        assert "shed with ServerBusyError" in result.stdout
+        assert "main server metrics:" in result.stdout
+        assert "shed=0" in result.stdout
+
     def test_message_flow(self):
         result = run_example("message_flow.py")
         assert result.returncode == 0, result.stderr

@@ -143,3 +143,52 @@ class TestFailureModes:
         with pytest.raises((ConnectionClosedError, ConnectError)):
             channel.request(b"x")
             net.connect(address)
+
+
+class TestListenerShutdown:
+    """close() must join its threads and sockets, not abandon them."""
+
+    def test_close_is_idempotent(self, net):
+        listener = net.listen("tcp://127.0.0.1:0", lambda p: p)
+        listener.close()
+        listener.close()
+
+    def test_close_joins_accept_and_connection_threads(self, net):
+        listener = net.listen("tcp://127.0.0.1:0", lambda p: p)
+        channels = [net.connect(listener.address) for _ in range(3)]
+        for i, channel in enumerate(channels):
+            assert channel.request(f"warm{i}".encode()) == f"warm{i}".encode()
+        listener.close()
+        assert not listener._accept_thread.is_alive()
+        assert all(not t.is_alive() for t in listener._threads)
+
+    def test_close_unblocks_idle_connections(self, net):
+        """A connection parked in recv() is force-closed, not leaked."""
+        listener = net.listen("tcp://127.0.0.1:0", lambda p: p)
+        channel = net.connect(listener.address)
+        channel.request(b"warm")  # the serving thread is now in recv()
+        listener.close()
+        with pytest.raises(ConnectionClosedError):
+            channel.request(b"denied")
+
+    def test_repeated_start_stop_leaks_no_threads(self):
+        """The satellite case: start/stop cycles in tests must be clean."""
+        baseline = threading.active_count()
+        for _ in range(5):
+            network = TcpNetwork()
+            listener = network.listen("tcp://127.0.0.1:0", lambda p: p)
+            channels = [network.connect(listener.address) for _ in range(2)]
+            for channel in channels:
+                assert channel.request(b"ping") == b"ping"
+            network.close()
+        assert threading.active_count() <= baseline + 1
+
+    def test_port_is_reusable_after_close(self):
+        network = TcpNetwork()
+        listener = network.listen("tcp://127.0.0.1:0", lambda p: p)
+        address = listener.address
+        listener.close()
+        relisten = network.listen(address, lambda p: p + b"2")
+        channel = network.connect(address)
+        assert channel.request(b"x") == b"x2"
+        network.close()

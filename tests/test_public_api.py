@@ -20,6 +20,7 @@ class TestTopLevelExports:
         [
             "repro.wire",
             "repro.net",
+            "repro.aio",
             "repro.rmi",
             "repro.core",
             "repro.plan",
