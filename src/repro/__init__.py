@@ -59,6 +59,8 @@ from repro.net import (
     LOCALHOST,
     WIRELESS,
     FaultInjector,
+    FaultSchedule,
+    FaultyNetwork,
     HostCosts,
     NetworkConditions,
     SimClock,
@@ -79,6 +81,7 @@ from repro.plan import (
 from repro.rmi import (
     CommunicationError,
     RemoteError,
+    RetryPolicy,
     RemoteInterface,
     RemoteObject,
     RMIClient,
@@ -110,6 +113,8 @@ __all__ = [
     "derive_batch_interfaces",
     "ExceptionAction",
     "FaultInjector",
+    "FaultSchedule",
+    "FaultyNetwork",
     "Future",
     "FutureNotReadyError",
     "generate_batch_interface_source",
@@ -129,6 +134,7 @@ __all__ = [
     "RemoteInterface",
     "RemoteObject",
     "RemoteRef",
+    "RetryPolicy",
     "RMIClient",
     "RMICore",
     "RMIServer",

@@ -175,6 +175,10 @@ class AioChannel(Channel):
     open, unlike the sequential transports.
     """
 
+    #: Capability probe for wrappers (see FaultyChannel.supports_async):
+    #: this channel natively exposes an awaitable request path.
+    supports_async = True
+
     def __init__(self, loop_thread, address: str, request_timeout: float = None):
         super().__init__()
         if request_timeout is not None and request_timeout <= 0:

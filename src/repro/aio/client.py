@@ -31,12 +31,15 @@ through :meth:`call` with the stub's ref for the awaitable path.
 
 from __future__ import annotations
 
+import asyncio
+
 from repro.aio.channel import AioChannel
 from repro.aio.network import AioNetwork
 from repro.net.transport import TransportError
 from repro.rmi.client import RMIClient
 from repro.rmi.exceptions import CommunicationError
 from repro.rmi.protocol import REGISTRY_OBJECT_ID
+from repro.rmi.retry import RETRYABLE_ERRORS, RetryPolicy
 from repro.rmi.stub import Stub
 
 
@@ -44,17 +47,26 @@ class AioRMIClient:
     """Asyncio-native RMI client multiplexing one pipelined connection."""
 
     def __init__(self, network: AioNetwork, address: str,
-                 from_host: str = "client", callback_server=None):
+                 from_host: str = "client", callback_server=None,
+                 retry: RetryPolicy = None):
         self._facade = RMIClient(
             network, address, from_host=from_host,
-            callback_server=callback_server,
+            callback_server=callback_server, retry=retry,
         )
         channel = self._facade.channel
-        if not isinstance(channel, AioChannel):
+        # Capability-probed, not hasattr: a chaos wrapper defines
+        # request_async unconditionally but answers supports_async from
+        # the channel it wraps, so a wrapped sync-only transport is
+        # still rejected here with a typed error instead of failing on
+        # the first awaited call.
+        if not isinstance(channel, AioChannel) and not getattr(
+            channel, "supports_async", False
+        ):
             self._facade.close()
             raise TypeError(
-                "AioRMIClient requires an AioNetwork transport, got a "
-                f"channel of type {type(channel).__name__}"
+                "AioRMIClient requires an AioNetwork transport (or a "
+                "wrapper around one), got a channel of type "
+                f"{type(channel).__name__}"
             )
         self._channel = channel
 
@@ -87,7 +99,8 @@ class AioRMIClient:
     @property
     def pipelined(self) -> bool:
         """Whether the server accepted the multiplexing envelope."""
-        return self._channel.pipelined
+        channel = self._facade.channel or self._channel
+        return channel.pipelined
 
     # -- awaitable calls -------------------------------------------------
 
@@ -96,16 +109,53 @@ class AioRMIClient:
 
         Same semantics as :meth:`RMIClient.call`: application exceptions
         re-raise as themselves, middleware failures as
-        :class:`~repro.rmi.exceptions.RemoteError` subclasses.
+        :class:`~repro.rmi.exceptions.RemoteError` subclasses.  With a
+        retry policy on the client, transient transport failures
+        reconnect and resend under the call's idempotency token —
+        backoff waits happen on this coroutine's loop, reconnects on a
+        worker thread, so the event loop never blocks.
         """
-        payload = self._facade._encode_request(object_id, method, args, kwargs)
-        try:
-            raw = await self._channel.request_async(payload)
-        except TransportError as exc:
-            raise CommunicationError(
-                f"remote call {method!r} to {self.address!r} failed: {exc}"
-            ) from exc
-        return self._facade._decode_response(raw)
+        facade = self._facade
+        policy = facade.retry
+        call_id = facade._next_call_id() if policy is not None else ""
+        payload = facade._encode_request(object_id, method, args, kwargs,
+                                         call_id=call_id)
+        if policy is None:
+            try:
+                raw = await self._channel.request_async(payload)
+            except TransportError as exc:
+                raise CommunicationError(
+                    f"remote call {method!r} to {self.address!r} failed: {exc}"
+                ) from exc
+            return facade._decode_response(raw)
+        last = None
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                await asyncio.sleep(policy.delay_after(attempt - 1))
+            # Hot path: the live channel is read directly; only the
+            # reconnect after a drop (blocking dial + handshake) is
+            # pushed to a worker thread.
+            channel = facade.channel
+            try:
+                if channel is None:
+                    channel = await asyncio.to_thread(facade._live_channel)
+                raw = await channel.request_async(payload)
+                return facade._decode_response(raw)
+            except RETRYABLE_ERRORS as exc:
+                if facade._closed:
+                    # Mirror the sync client: use-after-close fails fast
+                    # instead of burning the backoff budget.
+                    raise CommunicationError(
+                        f"remote call {method!r} to {self.address!r} "
+                        "failed: client is closed"
+                    ) from exc
+                last = exc
+                if isinstance(exc, TransportError) and channel is not None:
+                    await asyncio.to_thread(facade._drop_channel, channel)
+        raise CommunicationError(
+            f"remote call {method!r} to {self.address!r} failed after "
+            f"{policy.max_attempts} attempts: {last}"
+        ) from last
 
     async def call_stub(self, stub: Stub, method: str, args=(), kwargs=None):
         """Awaitable invocation of a stub's method (stubs are sync-bound)."""

@@ -41,7 +41,7 @@ from repro.aio.frames import (
 )
 from repro.aio.metrics import MetricsRecorder, ServerMetrics
 from repro.net.tcp import parse_tcp_address
-from repro.net.transport import Listener
+from repro.net.transport import FaultInjectedError, Listener
 from repro.rmi.exceptions import RemoteError, ServerBusyError
 from repro.rmi.protocol import CallResponse
 from repro.wire import encode
@@ -169,6 +169,11 @@ class AioListener(Listener):
 
     async def _run_pipelined(self, request_id, payload, writer, write_lock):
         response = await self._execute_admitted(payload)
+        if response is None:
+            # Injected server-side fault: drop the whole connection, the
+            # same observable failure the threaded listener produces.
+            writer.close()
+            return
         try:
             async with write_lock:
                 writer.write(frame(pack_envelope(request_id, response)))
@@ -188,6 +193,8 @@ class AioListener(Listener):
                 task = self._loop.create_task(self._execute_admitted(payload))
                 self._track(task)
                 response = await task
+            if response is None:
+                return  # injected server-side fault: drop the connection
             writer.write(frame(response))
             await writer.drain()
             self.stats.record_request(len(payload), len(response))
@@ -219,7 +226,7 @@ class AioListener(Listener):
         finally:
             self._in_flight -= 1
 
-    def _invoke(self, payload: bytes, admitted_at: float) -> bytes:
+    def _invoke(self, payload: bytes, admitted_at: float):
         """Worker-pool side: run the handler, never let it raise.
 
         The RMI core already encodes its own failures; a raw exception
@@ -233,6 +240,11 @@ class AioListener(Listener):
         try:
             try:
                 return self._handler(payload)
+            except FaultInjectedError:
+                # A fault-injecting wrapper asked for a dropped connection
+                # (None tells the writer side to close it) — the chaos
+                # harness's stand-in for a server crashing mid-exchange.
+                return None
             except Exception as exc:  # noqa: BLE001 - must not kill the worker
                 return encode(
                     CallResponse(

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.fuzz --seed 0 --programs 50     # the smoke corpus
     python -m repro.fuzz --seed 7 --programs 500    # a nightly corpus
+    python -m repro.fuzz --seed 0 --faults          # chaos conformance
     python -m repro.fuzz --seed 0 --inject-bug drop-call   # must fail
     python -m repro.fuzz --seed 0 --programs 5 --show      # print programs
 
@@ -51,6 +52,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--modes", default=",".join(MODES),
                         help="comma list of execution modes "
                         f"(default {','.join(MODES)})")
+    parser.add_argument("--faults", action="store_true",
+                        help="replay every batch/plan run through a seeded "
+                        "fault-injecting transport behind exactly-once "
+                        "retries; runs must match the oracle or fail with "
+                        "a typed transport error")
+    parser.add_argument("--fault-rate", type=float, default=0.12,
+                        metavar="P", help="per-exchange fault probability "
+                        "under --faults (default 0.12)")
     parser.add_argument("--inject-bug", default="", metavar="NAME",
                         choices=[""] + sorted(INJECTIONS),
                         help="plant a deliberate defect "
@@ -85,6 +94,8 @@ def main(argv=None) -> int:
         modes=tuple(args.modes.split(",")),
         inject=args.inject_bug,
         shrink=not args.no_shrink,
+        faults=args.faults,
+        fault_rate=args.fault_rate,
     )
     log = None if args.quiet else lambda line: print(line, flush=True)
     try:

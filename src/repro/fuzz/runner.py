@@ -21,6 +21,7 @@ every mode.  Divergences are shrunk to a minimal repro with
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from dataclasses import dataclass, field
 
@@ -28,8 +29,8 @@ from repro.apps.bank import CreditManagerImpl
 from repro.apps.fileserver import make_directory
 from repro.apps.linkedlist import build_list
 from repro.apps.noop import NoOpImpl
-from repro.net import SimNetwork, TcpNetwork, preset
-from repro.rmi import RMIClient, RMIServer
+from repro.net import FaultSchedule, FaultyNetwork, SimNetwork, TcpNetwork, preset
+from repro.rmi import RETRYABLE_ERRORS, RMIClient, RMIServer, RetryPolicy
 
 from repro.fuzz.execute import (
     FuzzHarnessError,
@@ -60,9 +61,36 @@ INJECTIONS = {
 }
 
 
+#: Retry policy for chaos clients: persistent enough to outlast a dense
+#: fault schedule, with backoffs short enough to keep corpora fast.
+CHAOS_RETRY = RetryPolicy(max_attempts=10, backoff_s=0.0005,
+                          backoff_cap_s=0.004)
+
+#: Flush failures a chaos run may legitimately end with — the typed
+#: errors the batch contract promises when the network truly gives out.
+#: Anything else (or a silently wrong result) is a divergence.
+CLEAN_FAULT_ERRORS = frozenset({
+    "repro.rmi.exceptions.CommunicationError",
+    "repro.rmi.exceptions.ServerBusyError",
+    "repro.net.transport.TransportError",
+    "repro.net.transport.ConnectionClosedError",
+    "repro.net.transport.ConnectError",
+    "repro.net.transport.FaultInjectedError",
+})
+
+
 @dataclass(frozen=True)
 class FuzzConfig:
-    """One reproducible differential experiment."""
+    """One reproducible differential experiment.
+
+    With *faults* enabled, every batch/plan run executes through a
+    seeded fault-injecting transport (the oracle stays on a clean link)
+    behind a retrying, exactly-once client.  The conformance rule
+    becomes: a run must either match the oracle observable-for-
+    observable, or fail its flush with one of the typed errors in
+    :data:`CLEAN_FAULT_ERRORS` — never diverge silently.  The traffic
+    bound is not enforced under faults (retries legitimately resend).
+    """
 
     seed: int = 0
     programs: int = 20
@@ -75,6 +103,8 @@ class FuzzConfig:
     shrink: bool = True
     check_traffic: bool = True
     max_divergences: int = 3
+    faults: bool = False
+    fault_rate: float = 0.12
 
 
 @dataclass
@@ -155,6 +185,15 @@ class FuzzReport:
                 cov.get("plan_cache_hits", 0),
             ),
         ]
+        if self.config.faults:
+            lines.append(
+                "  chaos:      fault_events=%d clean_failures=%d "
+                "dedup_replays=%d" % (
+                    cov.get("fault_events", 0),
+                    cov.get("clean_failures", 0),
+                    cov.get("dedup_replays", 0),
+                )
+            )
         return "\n".join(lines)
 
 
@@ -176,8 +215,16 @@ class World:
             ).start()
         self._names = itertools.count()
 
-    def fresh_client(self) -> RMIClient:
-        return RMIClient(self.network, self.server.address)
+    def fresh_client(self, schedule: FaultSchedule = None) -> RMIClient:
+        """A clean client, or (given a schedule) a chaos client whose
+        transport injects that schedule's faults behind retries."""
+        if schedule is None:
+            return RMIClient(self.network, self.server.address)
+        return RMIClient(
+            FaultyNetwork(self.network, schedule),
+            self.server.address,
+            retry=CHAOS_RETRY,
+        )
 
     def bind_fresh(self, domain: str):
         """Bind a brand-new application instance; returns (name, reader)."""
@@ -246,7 +293,8 @@ def run_corpus(config: FuzzConfig, log=None) -> FuzzReport:
     coverage.update(
         transports=set(), policies=set(), modes=set(), domains=set(),
         plan_inline=0, plan_installs=0, plan_invocations=0,
-        plan_cache_hits=0,
+        plan_cache_hits=0, fault_events=0, clean_failures=0,
+        dedup_replays=0,
     )
     worlds = {}
     oracle_world = None
@@ -292,6 +340,7 @@ def run_corpus(config: FuzzConfig, log=None) -> FuzzReport:
         for world in worlds.values():
             cache_stats = world.server.plan_cache.stats.snapshot()
             coverage["plan_cache_hits"] += cache_stats.hits
+            coverage["dedup_replays"] += world.server.dedup.hits
         if oracle_client is not None:
             oracle_client.close()
         if oracle_world is not None:
@@ -321,25 +370,70 @@ def _oracle_run(world, client, program, policy):
     return result
 
 
+def _chaos_schedule(config, *parts) -> FaultSchedule:
+    """A deterministic fault schedule for one cell of the matrix.
+
+    The seed is derived from the corpus seed plus the cell coordinates,
+    so every (program, policy, transport, mode) cell sees its own —
+    reproducible — fault pattern, stable across reruns and shrinking.
+    """
+    if not config.faults:
+        return None
+    key = ":".join(str(part) for part in (config.seed,) + parts)
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return FaultSchedule(
+        seed=int.from_bytes(digest[:8], "big"),
+        rate=config.fault_rate,
+        delay_s=0.0005,
+    )
+
+
+def _clean_fault_failure(result) -> bool:
+    """Whether a chaos run ended in an allowed typed transport error."""
+    return bool(result.flush_error) and result.flush_error in CLEAN_FAULT_ERRORS
+
+
 def _check_program(world, program, policy_name, policy, oracle, config,
                    inject, report, coverage):
     """Run all modes of one (program, policy, transport) cell.
 
     Returns the first :class:`Divergence`, or None when everything
-    matched the oracle.
+    matched the oracle (or, under faults, failed cleanly with a typed
+    transport error).
     """
     for mode in config.modes:
         coverage["modes"].add(mode)
-        client = world.fresh_client()
+        schedule = _chaos_schedule(
+            config, program.index, policy_name, world.transport, mode
+        )
+        client = world.fresh_client(schedule)
         try:
             runs = config.plan_runs if mode == "plan" else 1
             for run_index in range(runs):
-                result = _mode_run(
-                    world, client, program, policy, mode, inject
-                )
+                try:
+                    result = _mode_run(
+                        world, client, program, policy, mode, inject
+                    )
+                except RETRYABLE_ERRORS:
+                    if schedule is None:
+                        raise
+                    # Retries exhausted before the run could even start
+                    # (e.g. the lookup kept failing): a clean, typed
+                    # failure — nothing executed, nothing to compare.
+                    coverage["clean_failures"] += 1
+                    report.runs += 1
+                    continue
                 report.runs += 1
+                if schedule is not None and _clean_fault_failure(result):
+                    # The batch contract under failure: flush raised a
+                    # typed transport error.  Partial segments may have
+                    # applied (each flushed segment is exactly-once),
+                    # so there is no full-program oracle to compare to.
+                    coverage["clean_failures"] += 1
+                    continue
                 diffs = compare_runs(
-                    oracle, result, check_traffic=config.check_traffic
+                    oracle, result,
+                    check_traffic=config.check_traffic and schedule is None,
                 )
                 if diffs:
                     return Divergence(
@@ -356,6 +450,8 @@ def _check_program(world, program, policy_name, policy, oracle, config,
                 coverage["plan_inline"] += memo.inline_flushes
                 coverage["plan_installs"] += memo.plan_installs
                 coverage["plan_invocations"] += memo.plan_invocations
+            if schedule is not None:
+                coverage["fault_events"] += schedule.injected
             client.close()
     return None
 
@@ -386,15 +482,30 @@ def _shrink_divergence(divergence, world, oracle_world, oracle_client,
         if key in seen:
             return seen[key]
         oracle = _oracle_run(oracle_world, oracle_client, candidate, policy)
-        client = world.fresh_client()
+        # A fresh schedule per candidate replays the cell's exact fault
+        # stream, so chaos-born divergences stay reproducible while
+        # shrinking.
+        schedule = _chaos_schedule(
+            config, divergence.program.index, divergence.policy,
+            world.transport, mode,
+        )
+        client = world.fresh_client(schedule)
         diffs = []
         try:
             for _ in range(runs):
-                result = _mode_run(
-                    world, client, candidate, policy, mode, inject
-                )
+                try:
+                    result = _mode_run(
+                        world, client, candidate, policy, mode, inject
+                    )
+                except RETRYABLE_ERRORS:
+                    if schedule is None:
+                        raise
+                    continue  # clean typed failure: not a divergence
+                if schedule is not None and _clean_fault_failure(result):
+                    continue
                 diffs = compare_runs(
-                    oracle, result, check_traffic=config.check_traffic
+                    oracle, result,
+                    check_traffic=config.check_traffic and schedule is None,
                 )
                 if diffs:
                     break

@@ -1,18 +1,40 @@
-"""Fault injection for the simulated network.
+"""Fault injection: simulated-network hooks and real-transport chaos.
 
 The paper's model routes all communication failures through ``flush()``
 (§3.3: "network and communication errors are raised by flush, since it is
-the only call that performs remote communication").  These hooks let tests
-prove exactly that: inject a fault, observe that recording succeeds and
-flush raises.
+the only call that performs remote communication").  Two layers of tooling
+let tests prove exactly that — and prove the *retry* layer built on top:
+
+- :class:`FaultInjector` — the original simulated-network hook: decide,
+  per request, whether :class:`~repro.net.sim.SimNetwork` fails it.
+- :class:`FaultyNetwork` / :class:`FaultyChannel` / :class:`FaultyListener`
+  — a chaos wrapper around *any* transport (threaded TCP, asyncio, or the
+  simulator), injecting seeded drop/delay/corrupt/truncate/disconnect
+  events at frame boundaries, driven by a :class:`FaultSchedule`.
+
+The wrapper's event vocabulary distinguishes the two failure moments that
+matter for exactly-once semantics: a fault *before* delivery (the server
+never executed — a blind retry is safe) versus a fault *after* delivery
+(the server executed and only the response was lost — a blind retry
+doubles side effects, which is exactly what the idempotency-token dedup
+protocol exists to prevent).
 """
 
 from __future__ import annotations
 
 import random
 import threading
+import time
+from collections import deque
 
-from repro.net.transport import FaultInjectedError
+from repro.net.transport import (
+    Channel,
+    ConnectError,
+    ConnectionClosedError,
+    FaultInjectedError,
+    Listener,
+    Network,
+)
 
 
 class FaultInjector:
@@ -24,6 +46,14 @@ class FaultInjector:
     - :meth:`set_drop_rate` — fail each request with probability *p*
       (seeded RNG, so runs stay deterministic);
     - :meth:`fail_when` — arbitrary predicate over ``(address, payload)``.
+
+    Thread-safe: one injector may be shared by any number of concurrent
+    connections.  Each :meth:`check` consults the shared seeded RNG under
+    the injector's lock, so ``fail_next(n)`` fails *exactly* n requests
+    however threads interleave, and with a drop rate the total number of
+    injected failures over N checks is the same for every interleaving
+    (each check atomically consumes exactly one Bernoulli draw).
+    Predicates run outside the lock (they may be slow); keep them pure.
     """
 
     def __init__(self, seed: int = 0):
@@ -32,7 +62,13 @@ class FaultInjector:
         self._drop_rate = 0.0
         self._rng = random.Random(seed)
         self._predicate = None
-        self.injected = 0
+        self._injected = 0
+
+    @property
+    def injected(self) -> int:
+        """Total requests failed so far (consistent under concurrency)."""
+        with self._lock:
+            return self._injected
 
     def fail_next(self, count: int = 1) -> None:
         """Fail the next *count* requests unconditionally."""
@@ -65,17 +101,405 @@ class FaultInjector:
         with self._lock:
             if self._fail_remaining > 0:
                 self._fail_remaining -= 1
-                self.injected += 1
+                self._injected += 1
                 raise FaultInjectedError(
                     f"injected failure on request to {address!r}"
                 )
             if self._drop_rate and self._rng.random() < self._drop_rate:
-                self.injected += 1
+                self._injected += 1
                 raise FaultInjectedError(
                     f"request to {address!r} dropped (rate {self._drop_rate})"
                 )
             predicate = self._predicate
         if predicate is not None and predicate(address, payload):
             with self._lock:
-                self.injected += 1
+                self._injected += 1
             raise FaultInjectedError(f"predicate failed request to {address!r}")
+
+
+# -- transport-level chaos ---------------------------------------------------
+
+#: Request-boundary events a schedule may emit.
+#:
+#: - ``drop-request``    — the connection dies before the frame is
+#:   delivered: the server never executes;
+#: - ``drop-response``   — the frame is delivered and executed, then the
+#:   connection dies before the response arrives: the dangerous half;
+#: - ``corrupt-response``— the response arrives bit-flipped (undecodable);
+#: - ``truncate-response`` — the response arrives cut off mid-frame;
+#: - ``delay``           — the exchange completes after an extra pause.
+FAULT_KINDS = (
+    "drop-request",
+    "drop-response",
+    "corrupt-response",
+    "truncate-response",
+    "delay",
+)
+
+#: Connect-boundary event: the dial (including any transport handshake,
+#: e.g. the asyncio pipelining hello) fails outright.
+CONNECT_FAIL = "connect-fail"
+
+#: Most recent request-boundary decisions a schedule retains for
+#: :attr:`FaultSchedule.history`.
+HISTORY_LIMIT = 4096
+
+
+class FaultSchedule:
+    """A seeded, thread-safe stream of fault decisions.
+
+    One schedule drives every channel and listener of a
+    :class:`FaultyNetwork`, so a single seed reproduces the whole run's
+    fault pattern.  Two modes:
+
+    - **random** — each request-boundary decision injects with
+      probability *rate* (uniform over *kinds*); each connect-boundary
+      decision fails with probability *connect_rate*;
+    - **scripted** — :meth:`scripted` fixes the exact per-request event
+      sequence (``None`` entries deliver cleanly; an exhausted script
+      delivers cleanly forever), for deterministic unit tests.
+    """
+
+    def __init__(self, seed: int = 0, rate: float = 0.0,
+                 kinds=FAULT_KINDS, connect_rate: float = 0.0,
+                 delay_s: float = 0.001):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1]: {rate}")
+        if not 0.0 <= connect_rate <= 1.0:
+            raise ValueError(f"connect_rate must be in [0, 1]: {connect_rate}")
+        unknown = sorted(set(kinds) - set(FAULT_KINDS))
+        if unknown:
+            raise ValueError(
+                f"unknown fault kind(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(FAULT_KINDS)}"
+            )
+        self._lock = threading.Lock()
+        self._rng = random.Random(seed)
+        self._rate = rate
+        self._kinds = tuple(kinds)
+        self._connect_rate = connect_rate
+        self._script = None
+        self._injected = 0
+        # Bounded: history is a debugging aid, and a soak-length corpus
+        # reusing one schedule must not grow a list per exchange forever.
+        self._history = deque(maxlen=HISTORY_LIMIT)
+        self.delay_s = delay_s
+
+    @classmethod
+    def scripted(cls, events, delay_s: float = 0.001) -> "FaultSchedule":
+        """A schedule replaying *events* for successive request exchanges."""
+        schedule = cls(delay_s=delay_s)
+        unknown = sorted(
+            {e for e in events if e is not None} - set(FAULT_KINDS)
+        )
+        if unknown:
+            raise ValueError(
+                f"unknown fault kind(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(FAULT_KINDS)}"
+            )
+        schedule._script = list(events)
+        return schedule
+
+    @property
+    def injected(self) -> int:
+        """Fault events emitted so far (clean deliveries excluded)."""
+        with self._lock:
+            return self._injected
+
+    @property
+    def history(self):
+        """Recent events in order (``None`` for clean exchanges), bounded
+        to the last :data:`HISTORY_LIMIT` request decisions."""
+        with self._lock:
+            return tuple(self._history)
+
+    def decide(self, op: str):
+        """The fault event (or None) for one ``connect``/``request`` op."""
+        with self._lock:
+            if op == "connect":
+                event = None
+                if (
+                    self._connect_rate
+                    and self._rng.random() < self._connect_rate
+                ):
+                    event = CONNECT_FAIL
+            elif self._script is not None:
+                event = self._script.pop(0) if self._script else None
+            elif self._rate and self._rng.random() < self._rate:
+                event = self._rng.choice(self._kinds)
+            else:
+                event = None
+            if op != "connect":
+                self._history.append(event)
+            if event is not None:
+                self._injected += 1
+            return event
+
+
+def _corrupt(response: bytes) -> bytes:
+    """Deterministically damage a response so it cannot decode."""
+    if not response:
+        return b"\xff"
+    first = b"\x00" if response[:1] == b"\xff" else b"\xff"
+    return first + response[1:]
+
+
+class FaultyChannel(Channel):
+    """A channel wrapper injecting schedule-driven faults per exchange.
+
+    Severing events (``drop-request``/``drop-response``) close the
+    wrapped channel for real — on a multiplexed asyncio connection that
+    also fails every other request in flight, exactly like a genuine
+    disconnect — and leave this wrapper broken until the owner
+    reconnects through the network.
+    """
+
+    def __init__(self, inner, schedule: FaultSchedule):
+        super().__init__()
+        self._inner = inner
+        self._schedule = schedule
+        self._broken = False
+
+    @property
+    def address(self) -> str:
+        return getattr(self._inner, "address", "?")
+
+    @property
+    def inner(self):
+        """The wrapped transport channel."""
+        return self._inner
+
+    def request(self, payload: bytes) -> bytes:
+        if self._broken:
+            raise ConnectionClosedError(
+                f"channel to {self.address!r} is down (injected fault)"
+            )
+        event = self._schedule.decide("request")
+        if event == "drop-request":
+            self._sever("connection lost before the request was delivered")
+        if event == "delay":
+            time.sleep(self._schedule.delay_s)
+        response = self._inner.request(payload)
+        if event == "drop-response":
+            self._sever("connection lost before the response arrived")
+        if event == "corrupt-response":
+            response = _corrupt(response)
+        elif event == "truncate-response":
+            response = response[: len(response) // 2]
+        self.stats.record_request(len(payload), len(response))
+        return response
+
+    @property
+    def pipelined(self):
+        """Whether the wrapped channel negotiated pipelining (aio only)."""
+        return getattr(self._inner, "pipelined", False)
+
+    @property
+    def supports_async(self) -> bool:
+        """Whether an awaitable request path exists under the wrapper.
+
+        Recurses through nested wrappers; a sync-only channel (e.g.
+        TcpChannel) answers False even though this wrapper class always
+        defines :meth:`request_async` — callers must probe this, not
+        ``hasattr``.
+        """
+        inner = self._inner
+        probe = getattr(inner, "supports_async", None)
+        if probe is not None:
+            return bool(probe)
+        return hasattr(inner, "request_async")
+
+    def request_async(self, payload: bytes):
+        """Awaitable faulty round trip (wrapping a pipelined channel)."""
+        if not hasattr(self._inner, "request_async"):
+            raise AttributeError(
+                f"wrapped channel {type(self._inner).__name__} has no "
+                "async request path"
+            )
+        return self._request_async(payload)
+
+    async def _request_async(self, payload: bytes) -> bytes:
+        import asyncio
+
+        if self._broken:
+            raise ConnectionClosedError(
+                f"channel to {self.address!r} is down (injected fault)"
+            )
+        event = self._schedule.decide("request")
+        if event == "drop-request":
+            await self._sever_async(
+                "connection lost before the request was delivered"
+            )
+        if event == "delay":
+            await asyncio.sleep(self._schedule.delay_s)
+        response = await self._inner.request_async(payload)
+        if event == "drop-response":
+            await self._sever_async(
+                "connection lost before the response arrived"
+            )
+        if event == "corrupt-response":
+            response = _corrupt(response)
+        elif event == "truncate-response":
+            response = response[: len(response) // 2]
+        self.stats.record_request(len(payload), len(response))
+        return response
+
+    async def _sever_async(self, why: str):
+        import asyncio
+
+        self._broken = True
+        try:
+            # The aio channel's close blocks on its background loop;
+            # keep the caller's event loop responsive while it happens.
+            await asyncio.to_thread(self._inner.close)
+        except Exception:  # noqa: BLE001 - best-effort teardown
+            pass
+        raise ConnectionClosedError(f"injected fault: {why}")
+
+    def _sever(self, why: str):
+        self._broken = True
+        try:
+            self._inner.close()
+        except Exception:  # noqa: BLE001 - best-effort teardown
+            pass
+        raise ConnectionClosedError(f"injected fault: {why}")
+
+    def charge(self, kind: str, count: int = 1) -> None:
+        # Delegate so the simulator still prices middleware CPU into
+        # virtual time when it is the wrapped transport.
+        self._inner.charge(kind, count)
+
+    def close(self) -> None:
+        self._broken = True
+        self._inner.close()
+
+
+class FaultyListener(Listener):
+    """A listener façade over a wrapped transport listener.
+
+    The fault work happens in the handler wrapper installed by
+    :meth:`FaultyNetwork.listen`; this class only forwards the listener
+    surface (address, stats, charges, metrics, close) so server
+    front-ends run unchanged.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+        super().__init__(inner.address)
+        self.stats = inner.stats
+
+    @property
+    def address(self) -> str:
+        return self._inner.address
+
+    @address.setter
+    def address(self, value) -> None:
+        pass  # the wrapped listener owns (and may adopt) the real address
+
+    @property
+    def inner(self):
+        """The wrapped transport listener."""
+        return self._inner
+
+    @property
+    def metrics(self):
+        """The wrapped listener's live metrics, when it keeps any."""
+        return getattr(self._inner, "metrics", None)
+
+    def charge(self, kind: str, count: int = 1) -> None:
+        self._inner.charge(kind, count)
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+class FaultyNetwork(Network):
+    """Wrap any :class:`~repro.net.transport.Network` with fault injection.
+
+    ``connect`` hands out :class:`FaultyChannel` wrappers driven by the
+    client-side *schedule* (consulted at the connect boundary too, which
+    covers handshake-time failures); ``listen`` wraps the handler with
+    the optional *server_schedule*, whose events fire inside the server:
+    ``drop-request`` kills the connection before dispatch,
+    ``drop-response`` after (side effects applied), ``corrupt-response``
+    and ``truncate-response`` damage the reply, ``delay`` stalls it.
+
+    Closing a FaultyNetwork closes only the channels and listeners it
+    created — never the wrapped network, which the caller owns (chaos
+    clients routinely wrap a long-lived shared network per run).
+    """
+
+    #: Forwarded so RMICore still opts pool-served transports into
+    #: in-process loopback when the wrapped network asks for it.
+    @property
+    def direct_loopback(self) -> bool:
+        return getattr(self._inner, "direct_loopback", False)
+
+    def __init__(self, inner, schedule: FaultSchedule = None,
+                 server_schedule: FaultSchedule = None):
+        self._inner = inner
+        self._schedule = schedule if schedule is not None else FaultSchedule()
+        self._server_schedule = server_schedule
+        self._lock = threading.Lock()
+        self._channels = []
+        self._listeners = []
+
+    @property
+    def schedule(self) -> FaultSchedule:
+        """The client-side fault schedule."""
+        return self._schedule
+
+    def listen(self, address: str, handler) -> FaultyListener:
+        listener = FaultyListener(
+            self._inner.listen(address, self._wrap_handler(handler))
+        )
+        with self._lock:
+            self._listeners.append(listener)
+        return listener
+
+    def connect(self, address: str, from_host: str = "client") -> FaultyChannel:
+        if self._schedule.decide("connect") is not None:
+            raise ConnectError(address)
+        channel = FaultyChannel(
+            self._inner.connect(address, from_host), self._schedule
+        )
+        with self._lock:
+            self._channels.append(channel)
+        return channel
+
+    def close(self) -> None:
+        with self._lock:
+            channels = list(self._channels)
+            listeners = list(self._listeners)
+            self._channels.clear()
+            self._listeners.clear()
+        for channel in channels:
+            channel.close()
+        for listener in listeners:
+            listener.close()
+
+    def _wrap_handler(self, handler):
+        schedule = self._server_schedule
+        if schedule is None:
+            return handler
+
+        def serving(payload: bytes) -> bytes:
+            event = schedule.decide("request")
+            if event == "drop-request":
+                raise FaultInjectedError(
+                    "injected server fault: request dropped before dispatch"
+                )
+            if event == "delay":
+                time.sleep(schedule.delay_s)
+            response = handler(payload)
+            if event == "drop-response":
+                raise FaultInjectedError(
+                    "injected server fault: connection dropped before reply"
+                )
+            if event == "corrupt-response":
+                return _corrupt(response)
+            if event == "truncate-response":
+                return response[: len(response) // 2]
+            return response
+
+        return serving

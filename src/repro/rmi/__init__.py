@@ -1,7 +1,7 @@
 """RMI substrate: the distributed-object middleware under BRMI."""
 
 from repro.rmi.client import RMIClient
-from repro.rmi.dispatch import RMICore
+from repro.rmi.dispatch import DedupWindow, RMICore
 from repro.rmi.exceptions import (
     AlreadyBoundError,
     CommunicationError,
@@ -18,6 +18,7 @@ from repro.rmi.exceptions import (
 from repro.rmi.objects import ObjectTable
 from repro.rmi.protocol import INVOKE_BATCH, REGISTRY_OBJECT_ID, CallRequest, CallResponse
 from repro.rmi.registry import NamingRegistry, RegistryImpl
+from repro.rmi.retry import RETRYABLE_ERRORS, RetryPolicy
 from repro.rmi.remote import (
     MethodSpec,
     RemoteInterface,
@@ -35,6 +36,7 @@ __all__ = [
     "CallRequest",
     "CallResponse",
     "CommunicationError",
+    "DedupWindow",
     "INVOKE_BATCH",
     "MarshalError",
     "MethodSpec",
@@ -45,8 +47,10 @@ __all__ = [
     "NotExportedError",
     "ObjectTable",
     "REGISTRY_OBJECT_ID",
+    "RETRYABLE_ERRORS",
     "RegistryError",
     "RegistryImpl",
+    "RetryPolicy",
     "RemoteApplicationError",
     "RemoteError",
     "RemoteInterface",

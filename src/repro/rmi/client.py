@@ -6,16 +6,32 @@ refs pointing at *other* servers transparently get their own cached client
 :class:`~repro.rmi.remote.RemoteObject` as an argument requires a
 *callback server* — the client-side equivalent of RMI exporting a local
 object so the server can call back.
+
+Resilience: constructed with a :class:`~repro.rmi.retry.RetryPolicy`,
+the client survives transient transport failures.  Every logical call is
+stamped with an idempotency token (``CallRequest.call_id``) and encoded
+once; on a retryable failure the client drops the broken channel,
+reconnects with capped exponential backoff, and resends the *same*
+bytes.  The server's dedup window executes each token at most once, so a
+retried batch flush whose original response was lost never re-runs its
+side effects — at-least-once delivery, exactly-once execution.  Without
+a policy (the default) nothing changes: no token, no resend, failures
+surface immediately as :class:`~repro.rmi.exceptions.CommunicationError`.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
+import time
+import uuid
 
-from repro.net.transport import TransportError
+from repro.net.stats import TrafficStats
+from repro.net.transport import ConnectionClosedError, TransportError
 from repro.rmi.exceptions import CommunicationError, MarshalError
 from repro.rmi.marshal import MarshalContext, marshal_args, unmarshal
 from repro.rmi.protocol import REGISTRY_OBJECT_ID, CallRequest, CallResponse
+from repro.rmi.retry import RETRYABLE_ERRORS, RetryPolicy
 from repro.rmi.stub import Stub
 from repro.wire import decode, encode
 from repro.wire.refs import RemoteRef
@@ -25,16 +41,36 @@ class RMIClient(MarshalContext):
     """Synchronous RMI client bound to one server address."""
 
     def __init__(self, network, address: str, from_host: str = "client",
-                 callback_server=None):
+                 callback_server=None, retry: RetryPolicy = None,
+                 sleep=None):
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            raise TypeError(
+                f"retry must be a RetryPolicy, got {type(retry).__name__}"
+            )
         self._network = network
         self._address = address
         self._from_host = from_host
         self._callback_server = callback_server
-        self._channel = network.connect(address, from_host)
+        self._retry = retry
+        self._sleep = sleep if sleep is not None else time.sleep
         self._peers = {}  # endpoint -> RMIClient for refs to other servers
         self._lock = threading.Lock()
         self._closed = False
         self._plan_memo = None
+        # Tokens are unique per client instance and cheap to mint; the
+        # uuid prefix keeps two clients' counters from ever colliding.
+        self._call_ids = itertools.count(1)
+        self._token_prefix = uuid.uuid4().hex
+        if retry is None:
+            self._shared_stats = None
+            self._channel = network.connect(address, from_host)
+        else:
+            # Channels come and go across reconnects; traffic counters
+            # must not reset with them.  Every channel this client opens
+            # records into the one shared TrafficStats instance.
+            self._shared_stats = TrafficStats()
+            self._channel = None
+            self._connect_with_retry()
 
     @property
     def address(self) -> str:
@@ -42,12 +78,28 @@ class RMIClient(MarshalContext):
 
     @property
     def channel(self):
-        """The underlying transport channel (stats live here)."""
+        """The underlying transport channel (stats live here).
+
+        For a retrying client this is the *current* channel — it changes
+        across reconnects, and may be ``None`` between a drop and the
+        next lazy reconnect; use :attr:`stats` for stable counters.
+        """
         return self._channel
 
     @property
+    def retry(self) -> RetryPolicy:
+        """The retry policy, or None for a fail-fast client."""
+        return self._retry
+
+    @property
     def stats(self):
-        """Traffic counters for this client's own channel."""
+        """Traffic counters for this client's own connection.
+
+        Survives reconnects: a retrying client aggregates every channel
+        it ever opened into one counter set.
+        """
+        if self._shared_stats is not None:
+            return self._shared_stats
         return self._channel.stats
 
     @property
@@ -83,7 +135,9 @@ class RMIClient(MarshalContext):
         return Stub(ref, peer.call, client=peer)
 
     def charge(self, kind: str, count: int = 1) -> None:
-        self._channel.charge(kind, count)
+        channel = self._channel
+        if channel is not None:
+            channel.charge(kind, count)
 
     # -- calls ----------------------------------------------------------
 
@@ -92,25 +146,66 @@ class RMIClient(MarshalContext):
 
         Application exceptions raised by the remote body re-raise here as
         themselves; middleware/transport failures raise
-        :class:`~repro.rmi.exceptions.RemoteError` subclasses.
+        :class:`~repro.rmi.exceptions.RemoteError` subclasses.  With a
+        retry policy, transient transport failures are retried under the
+        call's idempotency token before giving up.
         """
-        payload = self._encode_request(object_id, method, args, kwargs)
-        try:
-            raw = self._channel.request(payload)
-        except TransportError as exc:
-            raise CommunicationError(
-                f"remote call {method!r} to {self._address!r} failed: {exc}"
-            ) from exc
-        return self._decode_response(raw)
+        call_id = self._next_call_id() if self._retry is not None else ""
+        payload = self._encode_request(
+            object_id, method, args, kwargs, call_id=call_id
+        )
+        if self._retry is None:
+            try:
+                raw = self._channel.request(payload)
+            except TransportError as exc:
+                raise CommunicationError(
+                    f"remote call {method!r} to {self._address!r} failed: {exc}"
+                ) from exc
+            return self._decode_response(raw)
+        return self._call_with_retry(payload, method)
 
-    def _encode_request(self, object_id, method, args=(), kwargs=None) -> bytes:
+    def _call_with_retry(self, payload: bytes, method: str):
+        """Send one encoded, token-stamped request until it sticks."""
+        policy = self._retry
+        last = None
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                self._sleep(policy.delay_after(attempt - 1))
+            channel = None
+            try:
+                channel = self._live_channel()
+                raw = channel.request(payload)
+                return self._decode_response(raw)
+            except RETRYABLE_ERRORS as exc:
+                if self._closed:
+                    # Use-after-close is a programming error, not a
+                    # transient fault: fail fast instead of burning the
+                    # backoff budget on retries that can never reconnect.
+                    raise CommunicationError(
+                        f"remote call {method!r} to {self._address!r} "
+                        "failed: client is closed"
+                    ) from exc
+                last = exc
+                if isinstance(exc, TransportError) and channel is not None:
+                    self._drop_channel(channel)
+        raise CommunicationError(
+            f"remote call {method!r} to {self._address!r} failed after "
+            f"{policy.max_attempts} attempts: {last}"
+        ) from last
+
+    def _next_call_id(self) -> str:
+        return f"{self._token_prefix}:{next(self._call_ids)}"
+
+    def _encode_request(self, object_id, method, args=(), kwargs=None,
+                        call_id: str = "") -> bytes:
         """Marshal and encode one request to wire bytes.
 
         Split out of :meth:`call` so the asyncio client can reuse the
         marshalling rules around its own (awaitable) transport hop.
         """
         wire_args, wire_kwargs = marshal_args(args, kwargs, self)
-        request = CallRequest(object_id, method, wire_args, wire_kwargs)
+        request = CallRequest(object_id, method, wire_args, wire_kwargs,
+                              call_id)
         try:
             return encode(request)
         except Exception as exc:
@@ -149,6 +244,47 @@ class RMIClient(MarshalContext):
         """Bind a name remotely (objects need a callback server)."""
         self.call(REGISTRY_OBJECT_ID, "bind", (name, stub_or_obj))
 
+    # -- connection lifecycle -------------------------------------------
+
+    def _live_channel(self):
+        """The current channel, reconnecting lazily after a drop."""
+        with self._lock:
+            if self._closed:
+                raise ConnectionClosedError(
+                    f"client for {self._address!r} is closed"
+                )
+            channel = self._channel
+            if channel is not None:
+                return channel
+            channel = self._network.connect(self._address, self._from_host)
+            if self._shared_stats is not None:
+                channel.stats = self._shared_stats
+            self._channel = channel
+            return channel
+
+    def _drop_channel(self, channel) -> None:
+        """Retire a broken channel; the next call reconnects."""
+        with self._lock:
+            if self._channel is channel:
+                self._channel = None
+        try:
+            channel.close()
+        except Exception:  # noqa: BLE001 - already broken; nothing to do
+            pass
+
+    def _connect_with_retry(self) -> None:
+        policy = self._retry
+        last = None
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                self._sleep(policy.delay_after(attempt - 1))
+            try:
+                self._live_channel()
+                return
+            except TransportError as exc:
+                last = exc
+        raise last
+
     # -- lifecycle -------------------------------------------------------
 
     def _peer_for(self, endpoint: str) -> "RMIClient":
@@ -160,6 +296,8 @@ class RMIClient(MarshalContext):
                     endpoint,
                     from_host=self._from_host,
                     callback_server=self._callback_server,
+                    retry=self._retry,
+                    sleep=self._sleep,
                 )
                 self._peers[endpoint] = peer
             return peer
@@ -171,9 +309,17 @@ class RMIClient(MarshalContext):
             self._closed = True
             peers = list(self._peers.values())
             self._peers.clear()
+            channel = self._channel
+            if self._retry is not None:
+                # Retrying clients read stats from _shared_stats, so the
+                # dead channel reference can go.  Fail-fast clients keep
+                # it: their stats property reads channel.stats, which
+                # must stay readable after close.
+                self._channel = None
         for peer in peers:
             peer.close()
-        self._channel.close()
+        if channel is not None:
+            channel.close()
 
     def __enter__(self):
         return self

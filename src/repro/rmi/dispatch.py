@@ -24,9 +24,11 @@ the batching layer (and to keep the package dependency graph acyclic).
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 
 from repro.net.transport import Channel, host_of
 from repro.rmi.exceptions import (
+    CommunicationError,
     MarshalError,
     NoSuchMethodError,
     NoSuchObjectError,
@@ -49,6 +51,114 @@ from repro.wire import decode, encode
 from repro.wire.refs import RemoteRef
 
 
+#: Idempotency tokens the dedup window remembers (LRU past this).
+DEFAULT_DEDUP_CAPACITY = 4096
+
+#: Seconds a duplicate waits for the original execution to finish.
+DEFAULT_DEDUP_WAIT = 30.0
+
+
+class _DedupEntry:
+    """One token's execution record: a latch plus the response bytes."""
+
+    __slots__ = ("ready", "response")
+
+    def __init__(self):
+        self.ready = threading.Event()
+        self.response = None
+
+
+class DedupWindow:
+    """Single-flight, capacity-bounded exactly-once window.
+
+    Keyed by the client's idempotency token (``CallRequest.call_id``).
+    The first arrival of a token *owns* it and executes; concurrent and
+    later duplicates wait on the owner's latch and replay the recorded
+    response bytes without re-dispatching — a retried batch flush (or
+    plan invocation) whose original response was lost in flight never
+    runs its side effects twice.
+
+    The window is an LRU over *completed* tokens: past *capacity*, the
+    oldest finished entries are forgotten (a duplicate arriving after
+    eviction re-executes — the window bounds memory, the client's
+    bounded retry horizon bounds how late a duplicate can arrive).
+    Entries still executing are never evicted, so a slow original cannot
+    be raced by its own retry.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_DEDUP_CAPACITY,
+                 wait_timeout: float = DEFAULT_DEDUP_WAIT):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self._lock = threading.Lock()
+        self._entries = OrderedDict()
+        self._capacity = capacity
+        self._wait_timeout = wait_timeout
+        self._hits = 0
+        self._executed = 0
+
+    @property
+    def hits(self) -> int:
+        """Duplicates answered from the window (side effects skipped)."""
+        with self._lock:
+            return self._hits
+
+    @property
+    def executed(self) -> int:
+        """Tokens this window actually dispatched."""
+        with self._lock:
+            return self._executed
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+    def execute(self, call_id: str, compute):
+        """Run ``compute() -> bytes`` at most once for *call_id*.
+
+        Returns the owner's response bytes, or ``None`` when a duplicate
+        timed out waiting for a still-running original (the caller turns
+        that into a retryable error response).
+        """
+        with self._lock:
+            entry = self._entries.get(call_id)
+            owner = entry is None
+            if owner:
+                entry = self._entries[call_id] = _DedupEntry()
+                self._executed += 1
+            else:
+                self._entries.move_to_end(call_id)
+        if owner:
+            try:
+                entry.response = compute()
+            finally:
+                # compute (RMICore.handle's inner pipeline) never raises,
+                # but a latch must never stay unset: waiters would hang.
+                entry.ready.set()
+                if entry.response is None:
+                    with self._lock:
+                        self._entries.pop(call_id, None)
+            self._evict()
+            return entry.response
+        if not entry.ready.wait(self._wait_timeout):
+            return None
+        response = entry.response
+        if response is not None:
+            with self._lock:
+                self._hits += 1
+        return response
+
+    def _evict(self):
+        with self._lock:
+            while len(self._entries) > self._capacity:
+                for call_id, entry in self._entries.items():
+                    if entry.ready.is_set():
+                        del self._entries[call_id]
+                        break
+                else:
+                    return  # everything left is still executing
+
+
 class RMICore(MarshalContext):
     """One exported-object space and its request dispatcher.
 
@@ -68,6 +178,7 @@ class RMICore(MarshalContext):
         self._batch_executor = None
         self._plan_runtime = None
         self._charge_sink = None
+        self._dedup = DedupWindow()
         self._lock = threading.Lock()
         # The registry must land at the well-known id before anything else.
         ref = self._objects.export(self._registry)
@@ -138,11 +249,21 @@ class RMICore(MarshalContext):
 
     # -- dispatch ------------------------------------------------------------
 
+    @property
+    def dedup(self) -> DedupWindow:
+        """The exactly-once window (tests and examples read its counters)."""
+        return self._dedup
+
     def handle(self, payload: bytes) -> bytes:
         """Transport handler: one request in, one response out.
 
         Must never raise — every failure becomes an error response.
         Re-entrant; call it from as many transport threads as you like.
+
+        A request carrying an idempotency token routes through the dedup
+        window: duplicates of a token already executed (or executing)
+        replay the recorded response instead of re-dispatching, so a
+        client retry after a lost response never doubles side effects.
         """
         try:
             request = decode(payload)
@@ -154,6 +275,28 @@ class RMICore(MarshalContext):
             return self._encode_response(
                 CallResponse(MarshalError(f"undecodable request: {exc}"), True)
             )
+        if not request.call_id:
+            return self._respond(request)
+        response = self._dedup.execute(
+            request.call_id, lambda: self._respond(request)
+        )
+        if response is None:
+            # The original execution outlived the duplicate's patience.
+            # CommunicationError is in the client's retryable set, so a
+            # live retry loop simply comes back for the recorded answer.
+            return self._encode_response(
+                CallResponse(
+                    CommunicationError(
+                        f"duplicate of call {request.call_id!r} timed out "
+                        "waiting for the original execution"
+                    ),
+                    True,
+                )
+            )
+        return response
+
+    def _respond(self, request: CallRequest) -> bytes:
+        """Dispatch one decoded request; never raises."""
         try:
             value = self._dispatch(request)
             response = CallResponse(value, False)

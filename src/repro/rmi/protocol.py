@@ -37,18 +37,30 @@ class CallRequest:
 
     Arguments and keyword values are already marshalled (wire-safe) by the
     time a request is constructed.
+
+    ``call_id`` is the idempotency token of the retry protocol: a client
+    that may resend a request (after a disconnect or a lost response)
+    stamps each *logical* call with a unique token and reuses it verbatim
+    on every resend.  The server's dedup window
+    (:class:`~repro.rmi.dispatch.DedupWindow`) executes each token at
+    most once and replays the recorded response to duplicates, turning
+    at-least-once delivery into exactly-once execution.  An empty token
+    (the default) opts out: the request is dispatched unconditionally.
     """
 
     object_id: int
     method: str
     args: Tuple = ()
     kwargs: Dict = field(default_factory=dict)
+    call_id: str = ""
 
     def __post_init__(self):
         if not isinstance(self.object_id, int) or self.object_id < 0:
             raise ValueError(f"bad object id: {self.object_id!r}")
         if not self.method or not isinstance(self.method, str):
             raise ValueError(f"bad method name: {self.method!r}")
+        if not isinstance(self.call_id, str):
+            raise ValueError(f"bad call id: {self.call_id!r}")
         object.__setattr__(self, "args", tuple(self.args))
 
 

@@ -1,0 +1,73 @@
+"""Client-side retry policy: capped exponential backoff, typed failures.
+
+The paper routes every communication failure through ``flush()`` (§3.3);
+this module decides what the client does *about* one.  A
+:class:`RetryPolicy` handed to :class:`~repro.rmi.client.RMIClient` (or
+:class:`~repro.aio.client.AioRMIClient`) makes each logical call survive
+transient transport failures: the client reconnects, backs off with a
+capped exponential delay, and resends the same encoded request.
+
+Resending is only safe because every retryable request carries an
+idempotency token (``CallRequest.call_id``): the server's dedup window
+executes each token at most once and replays the recorded response to
+duplicates.  Without the token, a resend after a lost *response* would
+re-run side effects — the classic duplicated bank transfer.
+
+What is retried:
+
+- :class:`~repro.net.transport.TransportError` — the connection died or
+  was refused; the request may or may not have reached the server, and
+  the token makes either case safe;
+- :class:`~repro.rmi.exceptions.CommunicationError` — an undecodable
+  (corrupt, truncated) response; the server executed, the dedup window
+  replays the intact response on the retry;
+- :class:`~repro.rmi.exceptions.ServerBusyError` — shed at admission
+  control *before* dispatch, always retry-safe by construction.
+
+Everything else — application exceptions, plan protocol errors,
+marshalling failures — propagates immediately: retrying cannot fix a
+request that the server understood and rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.transport import TransportError
+from repro.rmi.exceptions import CommunicationError, ServerBusyError
+
+#: Exception types a retrying client may safely re-attempt (given an
+#: idempotency token on the request).
+RETRYABLE_ERRORS = (TransportError, CommunicationError, ServerBusyError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How persistently a client re-attempts a failed call.
+
+    *max_attempts* counts the first try: ``max_attempts=1`` disables
+    resends while keeping the idempotency token on the wire.
+    *backoff_s* is the delay before the second attempt; each further
+    delay doubles, capped at *backoff_cap_s*.
+    """
+
+    max_attempts: int = 5
+    backoff_s: float = 0.05
+    backoff_cap_s: float = 2.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s cannot be negative: {self.backoff_s}")
+        if self.backoff_cap_s < self.backoff_s:
+            raise ValueError(
+                f"backoff_cap_s ({self.backoff_cap_s}) cannot be below "
+                f"backoff_s ({self.backoff_s})"
+            )
+
+    def delay_after(self, attempt: int) -> float:
+        """Backoff before the attempt following zero-based *attempt*."""
+        if attempt < 0:
+            raise ValueError(f"attempt cannot be negative: {attempt}")
+        return min(self.backoff_s * (2 ** attempt), self.backoff_cap_s)

@@ -321,3 +321,93 @@ class TestAsyncClient:
                 AioRMIClient(network, listener.address)
         finally:
             network.close()
+
+
+class TestMetricsPercentiles:
+    """Regression coverage for the percentile math behind ServerMetrics.
+
+    Nearest-rank percentiles over a bounded sample window: the edge
+    shapes (empty, single sample, saturated window) have all broken
+    naive implementations before, so each is pinned here directly
+    against MetricsRecorder rather than through a live server.
+    """
+
+    @staticmethod
+    def _serve(recorder, service_seconds):
+        recorder.on_admit()
+        recorder.on_start()
+        recorder.on_done(service_seconds)
+
+    def test_empty_window_reports_zero_not_nan(self):
+        from repro.aio.metrics import MetricsRecorder
+
+        snapshot = MetricsRecorder().snapshot()
+        assert snapshot.p50_ms == 0.0
+        assert snapshot.p99_ms == 0.0
+        assert snapshot.served == 0
+
+    def test_single_sample_is_every_percentile(self):
+        from repro.aio.metrics import MetricsRecorder
+
+        recorder = MetricsRecorder()
+        self._serve(recorder, 0.040)
+        snapshot = recorder.snapshot()
+        assert snapshot.p50_ms == pytest.approx(40.0)
+        assert snapshot.p99_ms == pytest.approx(40.0)
+
+    def test_two_samples_nearest_rank(self):
+        from repro.aio.metrics import MetricsRecorder
+
+        recorder = MetricsRecorder()
+        self._serve(recorder, 0.010)
+        self._serve(recorder, 0.030)
+        snapshot = recorder.snapshot()
+        # Nearest-rank: ceil(0.5 * 2) = rank 1 -> the smaller sample.
+        assert snapshot.p50_ms == pytest.approx(10.0)
+        assert snapshot.p99_ms == pytest.approx(30.0)
+
+    def test_known_distribution(self):
+        from repro.aio.metrics import MetricsRecorder
+
+        recorder = MetricsRecorder()
+        for ms in range(1, 101):  # 1ms..100ms
+            self._serve(recorder, ms / 1000.0)
+        snapshot = recorder.snapshot()
+        assert snapshot.p50_ms == pytest.approx(50.0)
+        assert snapshot.p99_ms == pytest.approx(99.0)
+
+    def test_saturated_window_keeps_only_the_tail(self):
+        from repro.aio.metrics import MetricsRecorder
+
+        recorder = MetricsRecorder(window=4)
+        self._serve(recorder, 10.0)  # will be evicted by the next four
+        for _ in range(4):
+            self._serve(recorder, 0.020)
+        snapshot = recorder.snapshot()
+        assert snapshot.p50_ms == pytest.approx(20.0)
+        assert snapshot.p99_ms == pytest.approx(20.0)  # the 10s outlier is gone
+        assert snapshot.served == 5  # counters are not windowed
+
+    def test_percentiles_are_order_insensitive(self):
+        from repro.aio.metrics import MetricsRecorder
+
+        ascending = MetricsRecorder()
+        shuffled = MetricsRecorder()
+        samples = [0.005, 0.010, 0.015, 0.020, 0.200]
+        for value in samples:
+            self._serve(ascending, value)
+        for value in (0.200, 0.010, 0.020, 0.005, 0.015):
+            self._serve(shuffled, value)
+        assert ascending.snapshot().p99_ms == shuffled.snapshot().p99_ms
+        assert ascending.snapshot().p50_ms == shuffled.snapshot().p50_ms
+
+    def test_queued_gauge_never_goes_negative(self):
+        from repro.aio.metrics import MetricsRecorder
+
+        recorder = MetricsRecorder()
+        recorder.on_admit()
+        recorder.on_start()
+        assert recorder.snapshot().queued == 0
+        recorder.on_done(0.001)
+        assert recorder.snapshot().queued == 0
+        assert recorder.snapshot().in_flight == 0

@@ -1,0 +1,160 @@
+"""Killed-and-restarted servers: exactly-once bank transfers end to end.
+
+The acceptance scenario for the chaos harness: a client records a bank
+batch (lookup + purchase + credit-line read), the server dies — cleanly
+or mid-exchange — comes back, and the retried flush applies *exactly one*
+side effect: no duplicate purchase, no lost purchase.  Exercised over
+both the threaded TCP transport and the pipelined asyncio runtime.
+"""
+
+import pytest
+
+from repro.apps.bank import CreditManagerImpl, bank_policy
+from repro.core import create_batch
+from repro.net import FaultSchedule, FaultyNetwork, TcpNetwork
+from repro.rmi import RMIClient, RMIServer, RetryPolicy
+
+LIMIT = 5000.0
+
+
+def make_network(transport: str):
+    if transport == "tcp":
+        return TcpNetwork()
+    from repro.aio import AioNetwork
+
+    return AioNetwork()
+
+
+@pytest.fixture(params=["tcp", "aio"])
+def bank_world(request):
+    network = make_network(request.param)
+    server = RMIServer(network, "tcp://127.0.0.1:0").start()
+    manager = CreditManagerImpl(default_limit=LIMIT)
+    manager.create_credit_account("alice")
+    server.bind("bank", manager)
+    yield network, server, manager
+    server.close()
+    network.close()
+
+
+def balance(manager, customer="alice"):
+    return manager._accounts[customer]._balance
+
+
+class TestRestartExactlyOnce:
+    def test_kill_before_flush_applies_once(self, bank_world):
+        """Server dies after the lookup; the flush retried against the
+        restarted server applies the batch exactly once."""
+        network, server, manager = bank_world
+        client = RMIClient(
+            network, server.address,
+            retry=RetryPolicy(max_attempts=6, backoff_s=0.01,
+                              backoff_cap_s=0.05),
+        )
+        stub = client.lookup("bank")
+        batch = create_batch(stub, policy=bank_policy())
+        account = batch.find_credit_account("alice")
+        account.make_purchase(75.0)
+        line = account.get_credit_line()
+
+        server.stop()
+        server.start()  # same port (adopted at first start), same state
+
+        batch.flush()
+        assert line.get() == LIMIT - 75.0
+        assert balance(manager) == 75.0
+        client.close()
+
+    def test_lost_response_plus_restart_dedups(self, bank_world):
+        """The dangerous half: the flush *executes* but its response is
+        lost with the dying connection; the server then restarts.  The
+        retried flush must replay the recorded response, not transfer
+        twice — the dedup window survives the listener bounce."""
+        network, server, manager = bank_world
+        schedule = FaultSchedule.scripted([None, "drop-response"])
+        restarted = []
+
+        def restart_between_attempts(_delay):
+            if not restarted:
+                server.stop()
+                server.start()
+                restarted.append(True)
+
+        client = RMIClient(
+            FaultyNetwork(network, schedule), server.address,
+            retry=RetryPolicy(max_attempts=6, backoff_s=0.0),
+            sleep=restart_between_attempts,
+        )
+        stub = client.lookup("bank")
+        batch = create_batch(stub, policy=bank_policy())
+        account = batch.find_credit_account("alice")
+        account.make_purchase(60.0)
+        line = account.get_credit_line()
+        batch.flush()
+
+        assert restarted, "the retry path never ran"
+        assert balance(manager) == 60.0  # once — not 0.0, not 120.0
+        assert line.get() == LIMIT - 60.0
+        assert server.dedup.hits == 1
+        client.close()
+
+    def test_consecutive_batches_across_a_restart(self, bank_world):
+        """Each flush is its own token: a restart between batches must
+        not suppress the second batch's (distinct) side effect."""
+        network, server, manager = bank_world
+        client = RMIClient(
+            network, server.address,
+            retry=RetryPolicy(max_attempts=6, backoff_s=0.01,
+                              backoff_cap_s=0.05),
+        )
+        stub = client.lookup("bank")
+
+        def purchase(amount):
+            batch = create_batch(stub, policy=bank_policy())
+            account = batch.find_credit_account("alice")
+            account.make_purchase(amount)
+            batch.flush()
+
+        purchase(10.0)
+        server.stop()
+        server.start()
+        purchase(15.0)
+        assert balance(manager) == 25.0
+        client.close()
+
+
+class TestAsyncClientRetry:
+    def test_aio_client_survives_lost_response(self):
+        """The asyncio-native client path retries and dedups too."""
+        import asyncio
+
+        from repro.aio import AioNetwork, AioRMIClient
+
+        network = AioNetwork()
+        server = RMIServer(network, "tcp://127.0.0.1:0").start()
+        manager = CreditManagerImpl(default_limit=LIMIT)
+        manager.create_credit_account("alice")
+        server.bind("bank", manager)
+        schedule = FaultSchedule.scripted([None, None, "drop-response"])
+        client = AioRMIClient(
+            FaultyNetwork(network, schedule), server.address,
+            retry=RetryPolicy(max_attempts=6, backoff_s=0.001,
+                              backoff_cap_s=0.01),
+        )
+
+        async def run():
+            stub = await client.lookup("bank")
+            card = await client.call_stub(stub, "find_credit_account",
+                                          ("alice",))
+            await client.call_stub(card, "make_purchase", (42.0,))
+            return await client.call_stub(card, "get_credit_line")
+
+        try:
+            line = asyncio.run(run())
+            assert line == LIMIT - 42.0
+            assert balance(manager) == 42.0
+            assert server.dedup.hits == 1
+        finally:
+            client.close()
+            server.close()
+            network.close()

@@ -88,3 +88,64 @@ class TestPredicate:
         net.faults.fail_when(lambda a, p: True)
         net.faults.clear()
         assert net.connect("sim://s:1").request(b"ok") == b"ok"
+
+
+class TestConcurrency:
+    """One injector shared by many connections must stay deterministic.
+
+    The seeded RNG and every counter are consulted atomically under the
+    injector's lock, so the *totals* are interleaving-independent: each
+    check consumes exactly one Bernoulli draw, and fail_next(n) fails
+    exactly n requests however threads race.
+    """
+
+    @staticmethod
+    def _hammer(injector, threads, checks_per_thread):
+        import threading
+
+        failures = []
+        lock = threading.Lock()
+
+        def worker():
+            mine = 0
+            for _ in range(checks_per_thread):
+                try:
+                    injector.check("sim://s:1", b"")
+                except FaultInjectedError:
+                    mine += 1
+            with lock:
+                failures.append(mine)
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(10.0)
+        return sum(failures)
+
+    def test_fail_next_fails_exactly_n_across_threads(self):
+        injector = FaultInjector()
+        injector.fail_next(37)
+        total = self._hammer(injector, threads=8, checks_per_thread=50)
+        assert total == 37
+        assert injector.injected == 37
+
+    def test_drop_rate_totals_are_interleaving_independent(self):
+        import random
+
+        seed, rate, draws = 42, 0.5, 8 * 100
+        reference = random.Random(seed)
+        expected = sum(1 for _ in range(draws) if reference.random() < rate)
+
+        injector = FaultInjector(seed=seed)
+        injector.set_drop_rate(rate)
+        total = self._hammer(injector, threads=8, checks_per_thread=100)
+        assert total == expected
+        assert injector.injected == expected
+
+    def test_predicate_counts_are_exact_under_threads(self):
+        injector = FaultInjector()
+        injector.fail_when(lambda addr, payload: True)
+        total = self._hammer(injector, threads=4, checks_per_thread=25)
+        assert total == 100
+        assert injector.injected == 100

@@ -96,6 +96,87 @@ class TestRootInvalidation:
         client.close()
 
 
+class TestRestartRetryPaths:
+    """Plan reuse meeting the retry layer: a restarted server's empty
+    plan cache must cost exactly one re-install — never a double
+    execution, never a stuck client."""
+
+    def test_plan_not_found_mid_retry_reinstalls_exactly_once(
+        self, network, server
+    ):
+        """The server dies with a hot plan confirmed in the client memo
+        and comes back (mid-retry) with a wiped plan cache.  The flush
+        must ride its retries into __invoke_plan__, take the typed
+        PlanNotFoundError, fall back to one __install_plan__, and apply
+        the batch exactly once."""
+        from repro.rmi import RMIClient, RetryPolicy
+
+        restarted = []
+
+        def restart_between_attempts(_delay):
+            # Simulated process restart: listener bounced, volatile plan
+            # cache gone, durable app state (the counter) intact.
+            if not restarted:
+                server.plan_cache.clear()
+                server.start()
+                restarted.append(True)
+
+        client = RMIClient(
+            network, "sim://server:1099",
+            retry=RetryPolicy(max_attempts=4, backoff_s=0.0),
+            sleep=restart_between_attempts,
+        )
+        impl = CounterImpl()
+        server.bind("persistent", impl)
+        stub = client.lookup("persistent")
+        warm_plan(stub)
+        assert impl.value == 2
+        installs_before = client.plan_memo.plan_installs
+        assert len(server.plan_cache) == 1
+
+        server.stop()
+
+        batch = create_batch(stub, reuse_plans=True)
+        future = batch.increment(1)
+        batch.flush()
+
+        assert restarted, "the flush never exercised the retry path"
+        assert future.get() == 3
+        assert impl.value == 3  # exactly once, across retry + reinstall
+        assert client.plan_memo.plan_installs == installs_before + 1
+        assert len(server.plan_cache) == 1  # the re-install repopulated it
+        client.close()
+
+    def test_hot_plan_after_reinstall_hits_again(self, network, server):
+        """After the one-trip re-install, the very next flush of the
+        same shape must be a plan-cache hit again (the memo was not
+        poisoned by the restart)."""
+        from repro.rmi import RMIClient, RetryPolicy
+
+        client = RMIClient(
+            network, "sim://server:1099",
+            retry=RetryPolicy(max_attempts=4, backoff_s=0.0),
+            sleep=lambda _s: None,
+        )
+        impl = CounterImpl()
+        server.bind("rewarmed", impl)
+        stub = client.lookup("rewarmed")
+        warm_plan(stub)
+        server.plan_cache.clear()  # restart-shaped cache loss, server up
+
+        batch = create_batch(stub, reuse_plans=True)
+        batch.increment(1)
+        batch.flush()  # PlanNotFoundError -> reinstall
+        hits_before = server.plan_cache.stats.snapshot().hits
+
+        batch = create_batch(stub, reuse_plans=True)
+        batch.increment(1)
+        batch.flush()
+        assert server.plan_cache.stats.snapshot().hits == hits_before + 1
+        assert impl.value == 4
+        client.close()
+
+
 class TestParameterRefResolution:
     def test_remote_ref_params_resolve_per_invocation(self, network, server):
         """A stub argument is lifted as a RemoteRef parameter; each plan
