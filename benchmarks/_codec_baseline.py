@@ -1,0 +1,303 @@
+"""Frozen copy of the pre-optimization TLV codec (the PR-4 seed state).
+
+This module is the *reference implementation* for the zero-copy wire
+pipeline: the microbenchmark (``test_codec_micro.py``) measures the live
+codec against it, and the differential checks assert that the optimized
+encoder produces byte-for-byte identical output and that both decoders
+agree on every corpus value.
+
+Deliberately NOT refactored to share code with ``repro.wire`` — sharing
+would let an optimization bug rewrite the baseline it is measured
+against.  Only the type registry and error classes are imported (they
+define the wire vocabulary, not the byte layout).
+
+Do not edit the logic here; it is a historical artifact.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.wire import registry
+from repro.wire.errors import (
+    DecodeError,
+    EncodeError,
+    TruncatedError,
+    UnknownTagError,
+)
+from repro.wire.refs import RemoteRef
+
+TAG_NONE = b"N"
+TAG_TRUE = b"T"
+TAG_FALSE = b"F"
+TAG_INT64 = b"I"
+TAG_BIGINT = b"J"
+TAG_FLOAT = b"D"
+TAG_STR = b"S"
+TAG_BYTES = b"B"
+TAG_LIST = b"L"
+TAG_TUPLE = b"U"
+TAG_DICT = b"M"
+TAG_SET = b"E"
+TAG_FROZENSET = b"G"
+TAG_OBJECT = b"O"
+TAG_EXCEPTION = b"X"
+TAG_REMOTE_REF = b"R"
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+_MAX_DEPTH = 100
+
+_u32 = struct.Struct(">I")
+_i64 = struct.Struct(">q")
+_f64 = struct.Struct(">d")
+
+
+def _set_sort_key(item):
+    return (type(item).__name__, repr(item))
+
+
+def canonical_set_order(values) -> list:
+    return sorted(values, key=_set_sort_key)
+
+
+class BaselineEncoder:
+    """The seed encoder: if/elif type chain, per-message bytearray."""
+
+    def __init__(self):
+        self._buf = bytearray()
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+    def encode(self, value) -> "BaselineEncoder":
+        self._encode(value, 0)
+        return self
+
+    def _encode(self, value, depth):
+        if depth > _MAX_DEPTH:
+            raise EncodeError(value, f"nesting deeper than {_MAX_DEPTH}")
+        buf = self._buf
+        if value is None:
+            buf += TAG_NONE
+        elif value is True:
+            buf += TAG_TRUE
+        elif value is False:
+            buf += TAG_FALSE
+        elif type(value) is int:
+            self._encode_int(value)
+        elif type(value) is float:
+            buf += TAG_FLOAT
+            buf += _f64.pack(value)
+        elif type(value) is str:
+            raw = value.encode("utf-8")
+            buf += TAG_STR
+            buf += _u32.pack(len(raw))
+            buf += raw
+        elif type(value) in (bytes, bytearray, memoryview):
+            raw = bytes(value)
+            buf += TAG_BYTES
+            buf += _u32.pack(len(raw))
+            buf += raw
+        elif type(value) is list:
+            self._encode_items(TAG_LIST, value, depth)
+        elif type(value) is tuple:
+            self._encode_items(TAG_TUPLE, value, depth)
+        elif type(value) is dict:
+            buf += TAG_DICT
+            buf += _u32.pack(len(value))
+            for key, item in value.items():
+                self._encode(key, depth + 1)
+                self._encode(item, depth + 1)
+        elif type(value) is set:
+            self._encode_items(TAG_SET, canonical_set_order(value), depth)
+        elif type(value) is frozenset:
+            self._encode_items(TAG_FROZENSET, canonical_set_order(value), depth)
+        elif type(value) is RemoteRef:
+            self._encode_remote_ref(value, depth)
+        elif isinstance(value, BaseException):
+            self._encode_exception(value, depth)
+        elif registry.is_serializable(value):
+            self._encode_object(value, depth)
+        elif isinstance(value, int):
+            self._encode_int(int(value))
+        elif isinstance(value, RemoteRef):
+            self._encode_remote_ref(value, depth)
+        else:
+            raise EncodeError(
+                value,
+                "not a wire-native type and not registered via "
+                "repro.wire.registry.serializable",
+            )
+
+    def _encode_int(self, value):
+        buf = self._buf
+        if _INT64_MIN <= value <= _INT64_MAX:
+            buf += TAG_INT64
+            buf += _i64.pack(value)
+        else:
+            sign = 1 if value < 0 else 0
+            magnitude = abs(value)
+            raw = magnitude.to_bytes((magnitude.bit_length() + 7) // 8, "big")
+            buf += TAG_BIGINT
+            buf += _u32.pack(len(raw))
+            buf += bytes([sign])
+            buf += raw
+
+    def _encode_items(self, tag, items, depth):
+        self._buf += tag
+        self._buf += _u32.pack(len(items))
+        for item in items:
+            self._encode(item, depth + 1)
+
+    def _encode_object(self, value, depth):
+        class_name, fields = registry.object_to_wire(value)
+        self._buf += TAG_OBJECT
+        self._encode(class_name, depth + 1)
+        self._encode(dict(fields), depth + 1)
+
+    def _encode_exception(self, exc, depth):
+        class_name, args = registry.exception_to_wire(exc)
+        safe_args = []
+        for arg in args:
+            try:
+                probe = BaselineEncoder()
+                probe._encode(arg, depth + 1)
+            except EncodeError:
+                safe_args.append(repr(arg))
+            else:
+                safe_args.append(arg)
+        self._buf += TAG_EXCEPTION
+        self._encode(class_name, depth + 1)
+        self._encode(tuple(safe_args), depth + 1)
+
+    def _encode_remote_ref(self, ref, depth):
+        self._buf += TAG_REMOTE_REF
+        self._encode(ref.endpoint, depth + 1)
+        self._encode(ref.object_id, depth + 1)
+        self._encode(ref.interfaces, depth + 1)
+
+
+class BaselineDecoder:
+    """The seed decoder: per-token bytes slices off a bytes buffer."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._data)
+
+    def decode(self):
+        return self._decode(0)
+
+    def _take(self, count):
+        if self.remaining < count:
+            raise TruncatedError(count, self.remaining)
+        chunk = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return chunk
+
+    def _take_length(self):
+        (length,) = _u32.unpack(self._take(4))
+        if length > self.remaining:
+            raise TruncatedError(length, self.remaining)
+        return length
+
+    def _decode(self, depth):
+        if depth > _MAX_DEPTH:
+            raise DecodeError(f"nesting deeper than {_MAX_DEPTH}")
+        tag = self._take(1)
+        if tag == TAG_NONE:
+            return None
+        if tag == TAG_TRUE:
+            return True
+        if tag == TAG_FALSE:
+            return False
+        if tag == TAG_INT64:
+            return _i64.unpack(self._take(8))[0]
+        if tag == TAG_BIGINT:
+            length = self._take_length()
+            sign = self._take(1)[0]
+            magnitude = int.from_bytes(self._take(length), "big")
+            return -magnitude if sign else magnitude
+        if tag == TAG_FLOAT:
+            return _f64.unpack(self._take(8))[0]
+        if tag == TAG_STR:
+            length = self._take_length()
+            try:
+                return self._take(length).decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise DecodeError(f"invalid utf-8 in string payload: {exc}")
+        if tag == TAG_BYTES:
+            return bytes(self._take(self._take_length()))
+        if tag == TAG_LIST:
+            return self._decode_items(depth)
+        if tag == TAG_TUPLE:
+            return tuple(self._decode_items(depth))
+        if tag == TAG_SET:
+            return set(self._decode_items(depth))
+        if tag == TAG_FROZENSET:
+            return frozenset(self._decode_items(depth))
+        if tag == TAG_DICT:
+            (count,) = _u32.unpack(self._take(4))
+            result = {}
+            for _ in range(count):
+                key = self._decode(depth + 1)
+                result[key] = self._decode(depth + 1)
+            return result
+        if tag == TAG_OBJECT:
+            class_name = self._expect_str(depth)
+            fields = self._decode(depth + 1)
+            if not isinstance(fields, dict):
+                raise DecodeError("object payload must be a dict of fields")
+            return registry.object_from_wire(class_name, fields)
+        if tag == TAG_EXCEPTION:
+            class_name = self._expect_str(depth)
+            args = self._decode(depth + 1)
+            if not isinstance(args, tuple):
+                raise DecodeError("exception payload must be a tuple of args")
+            return registry.exception_from_wire(class_name, args)
+        if tag == TAG_REMOTE_REF:
+            endpoint = self._expect_str(depth)
+            object_id = self._decode(depth + 1)
+            interfaces = self._decode(depth + 1)
+            if not isinstance(object_id, int) or not isinstance(interfaces, tuple):
+                raise DecodeError("malformed remote reference payload")
+            return RemoteRef(endpoint, object_id, interfaces)
+        raise UnknownTagError(tag, self._pos - 1)
+
+    def _decode_items(self, depth):
+        (count,) = _u32.unpack(self._take(4))
+        if count > self.remaining:
+            raise TruncatedError(count, self.remaining)
+        return [self._decode(depth + 1) for _ in range(count)]
+
+    def _expect_str(self, depth):
+        value = self._decode(depth + 1)
+        if not isinstance(value, str):
+            raise DecodeError(f"expected string, found {type(value).__name__}")
+        return value
+
+
+def baseline_encode(value) -> bytes:
+    """Encode one value with the frozen pre-optimization codec."""
+    return BaselineEncoder().encode(value).getvalue()
+
+
+def baseline_decode(data: bytes):
+    """Decode one value with the frozen pre-optimization codec."""
+    dec = BaselineDecoder(data)
+    value = dec.decode()
+    if not dec.at_end():
+        raise DecodeError(f"{dec.remaining} trailing bytes after value")
+    return value
+
+
+def baseline_frame(payload: bytes) -> bytes:
+    """The seed framing path: header + payload concatenation."""
+    return _u32.pack(len(payload)) + payload

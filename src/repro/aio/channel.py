@@ -26,7 +26,7 @@ import threading
 from repro.aio.frames import (
     MAGIC,
     MAGIC_ACK,
-    pack_envelope,
+    framed_envelope_views,
     read_frame_async,
     split_envelope,
 )
@@ -37,7 +37,7 @@ from repro.net.transport import (
     ConnectionClosedError,
     TransportError,
 )
-from repro.wire.framing import frame
+from repro.wire.framing import frame_views
 
 #: Seconds allowed for TCP connect plus the pipelining handshake.
 CONNECT_TIMEOUT = 10.0
@@ -61,7 +61,7 @@ class AioConnection:
     async def open(self) -> "AioConnection":
         host, port = parse_tcp_address(self._address)
         self._reader, self._writer = await asyncio.open_connection(host, port)
-        self._writer.write(frame(MAGIC))
+        self._writer.writelines(frame_views(MAGIC))
         await self._writer.drain()
         ack = await read_frame_async(self._reader)
         if ack == b"":
@@ -84,11 +84,15 @@ class AioConnection:
         if not self.pipelined:
             return await self._request_sequential(payload)
         request_id = next(self._ids)
+        # Build the scatter list (frame header, envelope, payload — no
+        # concatenation copies) before registering the future: an
+        # oversized payload must raise without leaking a pending entry.
+        views = framed_envelope_views(request_id, payload)
         future = self._loop.create_future()
         self._pending[request_id] = future
         try:
             async with self._write_lock:
-                self._writer.write(frame(pack_envelope(request_id, payload)))
+                self._writer.writelines(views)
                 await self._writer.drain()
         except (OSError, ConnectionError) as exc:
             self._pending.pop(request_id, None)
@@ -103,7 +107,7 @@ class AioConnection:
         # exchange, exactly like TcpChannel's io lock.
         async with self._write_lock:
             try:
-                self._writer.write(frame(payload))
+                self._writer.writelines(frame_views(payload))
                 await self._writer.drain()
                 response = await read_frame_async(self._reader)
             except (OSError, ConnectionError) as exc:

@@ -44,8 +44,18 @@ ENVELOPE_BYTES = _u64.size
 
 
 def pack_envelope(request_id: int, payload: bytes) -> bytes:
-    """Prefix *payload* with its correlation id."""
+    """Prefix *payload* with its correlation id (contiguous copy)."""
     return _u64.pack(request_id) + payload
+
+
+def framed_envelope_views(request_id: int, payload):
+    """The ``(frame header, envelope, payload)`` scatter list for one
+    enveloped frame — feed it to ``StreamWriter.writelines`` so neither
+    the envelope nor the frame is glued into a staging buffer."""
+    size = ENVELOPE_BYTES + len(payload)
+    if size > MAX_FRAME_SIZE:
+        raise FrameTooLargeError(size)
+    return _u32.pack(size), _u64.pack(request_id), payload
 
 
 def split_envelope(frame_body: bytes):

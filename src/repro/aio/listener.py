@@ -35,7 +35,7 @@ from concurrent.futures import ThreadPoolExecutor
 from repro.aio.frames import (
     MAGIC,
     MAGIC_ACK,
-    pack_envelope,
+    framed_envelope_views,
     read_frame_async,
     split_envelope,
 )
@@ -46,7 +46,7 @@ from repro.rmi.exceptions import RemoteError, ServerBusyError
 from repro.rmi.protocol import CallResponse
 from repro.wire import encode
 from repro.wire.errors import DecodeError
-from repro.wire.framing import frame
+from repro.wire.framing import frame_views
 
 #: Default number of worker threads executing handlers.
 DEFAULT_MAX_WORKERS = 16
@@ -124,7 +124,7 @@ class AioListener(Listener):
             if first == b"":
                 return
             if first == MAGIC:
-                writer.write(frame(MAGIC_ACK))
+                writer.writelines(frame_views(MAGIC_ACK))
                 await writer.drain()
                 await self._serve_pipelined(reader, writer, conn_tasks)
             else:
@@ -154,8 +154,8 @@ class AioListener(Listener):
             if not self._admit():
                 self._recorder.on_shed()
                 async with write_lock:
-                    writer.write(
-                        frame(pack_envelope(request_id, self._busy_payload))
+                    writer.writelines(
+                        framed_envelope_views(request_id, self._busy_payload)
                     )
                     await writer.drain()
                 self.stats.record_request(len(payload), len(self._busy_payload))
@@ -176,7 +176,9 @@ class AioListener(Listener):
             return
         try:
             async with write_lock:
-                writer.write(frame(pack_envelope(request_id, response)))
+                # Scatter-gather: the response is framed and enveloped
+                # without being re-copied into a staging buffer.
+                writer.writelines(framed_envelope_views(request_id, response))
                 await writer.drain()
             self.stats.record_request(len(payload), len(response))
         except (OSError, ConnectionError):
@@ -195,7 +197,7 @@ class AioListener(Listener):
                 response = await task
             if response is None:
                 return  # injected server-side fault: drop the connection
-            writer.write(frame(response))
+            writer.writelines(frame_views(response))
             await writer.drain()
             self.stats.record_request(len(payload), len(response))
             payload = await read_frame_async(reader)

@@ -165,11 +165,13 @@ class SimChannel(Channel):
             + hosts.dispatch_overhead_s
         )
         response = listener._handler(payload)
-        if not isinstance(response, bytes):
+        if not isinstance(response, (bytes, bytearray, memoryview)):
             raise TypeError(
                 f"handler for {self._address!r} returned "
                 f"{type(response).__name__}, expected bytes"
             )
+        # Byte accounting charges len() of whatever buffer the handler
+        # returned — a zero-copy view prices identically to its bytes.
         clock.advance(
             hosts.per_byte_cpu_s * len(response)
             + conditions.transmission_time(len(response), self._loopback)

@@ -16,7 +16,7 @@ import socket
 import threading
 import time
 
-from repro.wire.framing import frame, read_frame
+from repro.wire.framing import FrameReceiver, write_frame
 from repro.net.transport import (
     Channel,
     ConnectError,
@@ -72,7 +72,13 @@ class TcpNetwork(Network):
 
 
 class TcpListener(Listener):
-    """Threaded accept loop serving ``handler(bytes) -> bytes``."""
+    """Threaded accept loop serving ``handler(bytes-like) -> bytes``.
+
+    The handler receives a ``memoryview`` of the connection's reusable
+    receive buffer (valid for the duration of the call); handlers that
+    keep or rewrite the payload must take their own ``bytes()`` copy.
+    The RMI core decodes in place and retains nothing.
+    """
 
     def __init__(self, address: str, handler):
         host, port = _parse(address)
@@ -118,11 +124,16 @@ class TcpListener(Listener):
             thread.start()
 
     def _serve_connection(self, conn: socket.socket):
+        # One reusable receive buffer per connection: requests decode
+        # straight from it (the handler runs before the next receive
+        # overwrites the view), responses go out via sendmsg — neither
+        # direction stages a contiguous copy.
+        receiver = FrameReceiver()
         try:
             with conn:
                 while not self._closed.is_set():
                     try:
-                        payload = read_frame(conn)
+                        payload = receiver.receive(conn)
                     except Exception:
                         return  # peer vanished mid-frame; drop the connection
                     if payload == b"":
@@ -136,7 +147,7 @@ class TcpListener(Listener):
                         # error instead of hanging.
                         return
                     try:
-                        conn.sendall(frame(response))
+                        write_frame(conn, response)
                     except OSError:
                         return
                     self.stats.record_request(len(payload), len(response))
@@ -199,6 +210,7 @@ class TcpChannel(Channel):
         host, port = _parse(address)
         self._address = address
         self._io_lock = threading.Lock()
+        self._receiver = FrameReceiver()
         if request_timeout is not None and request_timeout <= 0:
             raise ValueError(f"request_timeout must be positive: {request_timeout}")
         self._request_timeout = request_timeout
@@ -220,8 +232,12 @@ class TcpChannel(Channel):
                     f"channel to {self._address!r} is closed"
                 )
             try:
-                self._sock.sendall(frame(payload))
-                response = read_frame(self._sock)
+                write_frame(self._sock, payload)
+                # Detach from the reusable receive buffer: the Channel
+                # API promises bytes that outlive the next round trip.
+                # (Like read_frame before it, this folds the empty frame
+                # into the clean-EOF b"" — the codec never emits one.)
+                response = bytes(self._receiver.receive(self._sock))
             except OSError as exc:
                 self._open = False
                 raise ConnectionClosedError(

@@ -202,6 +202,9 @@ class RMIClient(MarshalContext):
 
         Split out of :meth:`call` so the asyncio client can reuse the
         marshalling rules around its own (awaitable) transport hop.
+        ``encode`` draws from the wire layer's buffer pool, and the
+        transport frames these bytes with scatter-gather writes — the
+        request is copied exactly once (into the immutable payload).
         """
         wire_args, wire_kwargs = marshal_args(args, kwargs, self)
         request = CallRequest(object_id, method, wire_args, wire_kwargs,
@@ -211,8 +214,11 @@ class RMIClient(MarshalContext):
         except Exception as exc:
             raise MarshalError(f"cannot encode request: {exc}") from exc
 
-    def _decode_response(self, raw: bytes):
-        """Decode wire bytes to an unmarshalled value (or raise it)."""
+    def _decode_response(self, raw):
+        """Decode a wire response (any bytes-like) to an unmarshalled
+        value, or raise the carried exception.  The decoder runs on a
+        ``memoryview`` of *raw*, so a transport may hand in a window of
+        its receive buffer without first detaching it."""
         try:
             response = decode(raw)
         except Exception as exc:

@@ -254,11 +254,17 @@ class RMICore(MarshalContext):
         """The exactly-once window (tests and examples read its counters)."""
         return self._dedup
 
-    def handle(self, payload: bytes) -> bytes:
+    def handle(self, payload) -> bytes:
         """Transport handler: one request in, one response out.
 
         Must never raise — every failure becomes an error response.
         Re-entrant; call it from as many transport threads as you like.
+
+        *payload* may be any bytes-like object; the threaded TCP
+        listener passes a ``memoryview`` of its reusable receive buffer
+        and the decoder scans it in place (the view is only guaranteed
+        alive for the duration of this call — which is all decoding
+        needs; nothing downstream retains request bytes).
 
         A request carrying an idempotency token routes through the dedup
         window: duplicates of a token already executed (or executing)
@@ -371,6 +377,8 @@ class RMICore(MarshalContext):
         return specs
 
     def _encode_response(self, response: CallResponse) -> bytes:
+        # encode() draws from the wire buffer pool: across requests the
+        # response path reuses the same per-thread scratch buffers.
         try:
             return encode(response)
         except Exception as exc:

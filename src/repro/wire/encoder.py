@@ -12,6 +12,26 @@ Supported values: ``None``, ``bool``, ``int`` (arbitrary precision),
 :mod:`repro.wire.registry`), exceptions, and :class:`~repro.wire.refs.RemoteRef`.
 
 All multi-byte integers are big-endian.  Container lengths are u32.
+
+**Zero-copy pipeline.**  The byte layout is frozen (golden-bytes tests
+pin it), but the implementation is built for throughput:
+
+- type dispatch is a ``dict[type, handler]`` lookup with an
+  ``isinstance`` fallback for subclasses (exceptions, IntEnums,
+  RemoteRef subclasses) — no if/elif chain walk per value; container
+  handlers dispatch their items inline, one lookup + one call per item;
+- the core operates on a bare ``bytearray``: no encoder-object state on
+  the hot path, and tag + fixed payload (or tag + u32 length) are packed
+  in a single ``struct`` call — small non-negative ints come from a
+  pre-packed cache;
+- ``bytes``/``bytearray``/``memoryview`` payloads append straight into
+  the message buffer — no intermediate ``bytes(value)`` staging copy;
+- the module-level helpers draw their ``bytearray`` from a shared
+  :class:`~repro.wire.buffers.BufferPool` so steady-state encoding
+  churns no buffer objects;
+- :func:`encode_framed` reserves the 4-byte frame length up front and
+  patches it in place — one buffer, zero concatenation — for callers
+  that want wire-ready framed messages.
 """
 
 from __future__ import annotations
@@ -19,6 +39,7 @@ from __future__ import annotations
 import struct
 
 from repro.wire import registry
+from repro.wire.buffers import GLOBAL_POOL
 from repro.wire.errors import EncodeError
 from repro.wire.refs import RemoteRef
 
@@ -46,140 +67,377 @@ _INT64_MAX = 2**63 - 1
 _MAX_DEPTH = 100
 
 _u32 = struct.Struct(">I")
-_i64 = struct.Struct(">q")
-_f64 = struct.Struct(">d")
+# Combined tag+payload headers: one C pack call instead of two appends.
+_tag_i64 = struct.Struct(">cq")
+_tag_f64 = struct.Struct(">cd")
+_tag_u32 = struct.Struct(">cI")
+
+_pack_i64 = _tag_i64.pack
+_pack_f64 = _tag_f64.pack
+_pack_u32 = _tag_u32.pack
+
+# Small non-negative ints dominate real traffic (object ids, counts,
+# cursor indices); their 9-byte encodings are immutable — pre-pack them.
+_INT_CACHE = tuple(_pack_i64(TAG_INT64, i) for i in range(256))
+
+# Container headers for small item counts, one per container tag.
+_LIST_HDRS = tuple(_pack_u32(TAG_LIST, n) for n in range(256))
+_TUPLE_HDRS = tuple(_pack_u32(TAG_TUPLE, n) for n in range(256))
+_DICT_HDRS = tuple(_pack_u32(TAG_DICT, n) for n in range(256))
+_SET_HDRS = tuple(_pack_u32(TAG_SET, n) for n in range(256))
+_FROZENSET_HDRS = tuple(_pack_u32(TAG_FROZENSET, n) for n in range(256))
+
+# Short strings repeat heavily (method names, field keys, account ids):
+# memoize their full TLV encoding.  str hashes are memoized per object,
+# so a hit is one dict probe + one append.  Bounded: wiped when full.
+_STR_CACHE: dict = {}
+_STR_CACHE_MAX = 4096
+_STR_CACHE_MAX_LEN = 64
+
+
+# -- the function core: every handler appends to a bare bytearray --------
+
+
+def _encode_value(buf, value, depth):
+    """Append one value's encoding to *buf* (the dispatch entry point)."""
+    if depth > _MAX_DEPTH:
+        raise EncodeError(value, f"nesting deeper than {_MAX_DEPTH}")
+    handler = _DISPATCH.get(type(value))
+    if handler is not None:
+        handler(buf, value, depth)
+    else:
+        _encode_fallback(buf, value, depth)
+
+
+def _encode_fallback(buf, value, depth):
+    """Subclass / registered-object path, off the exact-type table.
+
+    Exactly one ``isinstance(value, RemoteRef)`` check lives in the
+    encoder: exact refs hit the dispatch table, subclasses land here and
+    are encoded as plain refs (the wire has no subclass notion), ahead
+    of the registry so a ref cannot be shadowed by a registration.
+    """
+    if isinstance(value, BaseException):
+        _encode_exception(buf, value, depth)
+    elif isinstance(value, RemoteRef):
+        _encode_remote_ref(buf, value, depth)
+    elif registry.is_serializable(value):
+        # First encounter of a registered class: bake its handler (class
+        # name and field keys pre-encoded) into the dispatch table, so
+        # every later instance is one table hit away.
+        handler = _make_object_handler(type(value))
+        _DISPATCH[type(value)] = handler
+        handler(buf, value, depth)
+    elif isinstance(value, int):  # bool is table-dispatched; IntEnum etc.
+        _encode_int(buf, int(value), depth)
+    else:
+        raise EncodeError(
+            value,
+            "not a wire-native type and not registered via "
+            "repro.wire.registry.serializable",
+        )
+
+
+def _encode_none(buf, value, depth):
+    buf += TAG_NONE
+
+
+def _encode_bool(buf, value, depth):
+    buf += TAG_TRUE if value else TAG_FALSE
+
+
+def _encode_int(buf, value, depth):
+    if 0 <= value < 256:
+        buf += _INT_CACHE[value]
+    elif _INT64_MIN <= value <= _INT64_MAX:
+        buf += _pack_i64(TAG_INT64, value)
+    else:
+        sign = 1 if value < 0 else 0
+        magnitude = abs(value)
+        raw = magnitude.to_bytes((magnitude.bit_length() + 7) // 8, "big")
+        buf += _pack_u32(TAG_BIGINT, len(raw))
+        buf.append(sign)
+        buf += raw
+
+
+def _encode_float(buf, value, depth):
+    buf += _pack_f64(TAG_FLOAT, value)
+
+
+def _encode_str(buf, value, depth):
+    pre = _STR_CACHE.get(value)
+    if pre is not None:
+        buf += pre
+        return
+    raw = value.encode("utf-8")
+    if len(raw) <= _STR_CACHE_MAX_LEN:
+        if len(_STR_CACHE) >= _STR_CACHE_MAX:
+            _STR_CACHE.clear()
+        pre = _STR_CACHE[value] = _pack_u32(TAG_STR, len(raw)) + raw
+        buf += pre
+    else:
+        buf += _pack_u32(TAG_STR, len(raw))
+        buf += raw
+
+
+def _encode_bytes(buf, value, depth):
+    # bytes/bytearray append directly — no bytes(value) staging copy.
+    buf += _pack_u32(TAG_BYTES, len(value))
+    buf += value
+
+
+def _encode_memoryview(buf, value, depth):
+    if value.format != "B" or value.ndim != 1 or not value.contiguous:
+        try:
+            value = value.cast("B")
+        except (TypeError, ValueError):
+            # Non-contiguous (cast refuses): linearize once.
+            value = value.tobytes()
+    buf += _pack_u32(TAG_BYTES, len(value))
+    buf += value
+
+
+# Container handlers dispatch their items inline (one dict lookup, one
+# call per item) and hoist the depth check out of the per-item loop —
+# all items of one container sit at the same depth, and an empty
+# container at the depth limit is legal (it recurses into nothing).
+
+
+def _encode_list(buf, value, depth):
+    count = len(value)
+    buf += _LIST_HDRS[count] if count < 256 else _pack_u32(TAG_LIST, count)
+    depth += 1
+    if value and depth > _MAX_DEPTH:
+        raise EncodeError(value, f"nesting deeper than {_MAX_DEPTH}")
+    lookup = _DISPATCH.get
+    for item in value:
+        handler = lookup(type(item))
+        if handler is not None:
+            handler(buf, item, depth)
+        else:
+            _encode_fallback(buf, item, depth)
+
+
+def _encode_tuple(buf, value, depth):
+    count = len(value)
+    buf += _TUPLE_HDRS[count] if count < 256 else _pack_u32(TAG_TUPLE, count)
+    depth += 1
+    if value and depth > _MAX_DEPTH:
+        raise EncodeError(value, f"nesting deeper than {_MAX_DEPTH}")
+    lookup = _DISPATCH.get
+    for item in value:
+        handler = lookup(type(item))
+        if handler is not None:
+            handler(buf, item, depth)
+        else:
+            _encode_fallback(buf, item, depth)
+
+
+def _encode_dict(buf, value, depth):
+    count = len(value)
+    buf += _DICT_HDRS[count] if count < 256 else _pack_u32(TAG_DICT, count)
+    depth += 1
+    if value and depth > _MAX_DEPTH:
+        raise EncodeError(value, f"nesting deeper than {_MAX_DEPTH}")
+    lookup = _DISPATCH.get
+    for key, item in value.items():
+        handler = lookup(type(key))
+        if handler is not None:
+            handler(buf, key, depth)
+        else:
+            _encode_fallback(buf, key, depth)
+        handler = lookup(type(item))
+        if handler is not None:
+            handler(buf, item, depth)
+        else:
+            _encode_fallback(buf, item, depth)
+
+
+def _encode_set(buf, value, depth):
+    _encode_set_items(buf, TAG_SET, _SET_HDRS, value, depth)
+
+
+def _encode_frozenset(buf, value, depth):
+    _encode_set_items(buf, TAG_FROZENSET, _FROZENSET_HDRS, value, depth)
+
+
+def _encode_set_items(buf, tag, hdrs, value, depth):
+    count = len(value)
+    buf += hdrs[count] if count < 256 else _pack_u32(tag, count)
+    depth += 1
+    if value and depth > _MAX_DEPTH:
+        raise EncodeError(value, f"nesting deeper than {_MAX_DEPTH}")
+    lookup = _DISPATCH.get
+    for item in canonical_set_order(value):
+        handler = lookup(type(item))
+        if handler is not None:
+            handler(buf, item, depth)
+        else:
+            _encode_fallback(buf, item, depth)
+
+
+def _encode_remote_ref(buf, ref, depth):
+    buf += TAG_REMOTE_REF
+    depth += 1
+    _encode_value(buf, ref.endpoint, depth)
+    _encode_value(buf, ref.object_id, depth)
+    _encode_value(buf, ref.interfaces, depth)
+
+
+def _pre_encode_str(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    return _pack_u32(TAG_STR, len(raw)) + raw
+
+
+def _make_object_handler(cls):
+    """Build a dispatch-table handler for one registered class.
+
+    The wire name (and, for dataclasses, the field-name keys and dict
+    header) never change for a given class, so they are encoded once
+    here and appended as pre-baked byte strings per instance.  Byte
+    layout is identical to the generic :func:`_encode_object` path.
+    """
+    class_name = registry.qualified_name(cls)
+    name_pre = _pre_encode_str(class_name)
+    field_names = registry.wire_fields_of(cls)
+    if field_names is None:
+        # to_wire/from_wire hook class: field dict is dynamic.
+        prefix = bytes(TAG_OBJECT + name_pre)
+
+        def handler(buf, value, depth):
+            depth += 1
+            if depth > _MAX_DEPTH:
+                raise EncodeError(value, f"nesting deeper than {_MAX_DEPTH}")
+            _, fields = registry.object_to_wire(value)
+            buf += prefix
+            _encode_value(buf, dict(fields), depth)
+
+        return handler
+
+    prefix = bytes(TAG_OBJECT + name_pre + _pack_u32(TAG_DICT, len(field_names)))
+    pre_keys = tuple((_pre_encode_str(name), name) for name in field_names)
+
+    def handler(buf, value, depth):
+        # The class-name string and field dict sit at depth+1, the field
+        # keys/values at depth+2 — mirror the generic path's checks.
+        if depth + 1 > _MAX_DEPTH:
+            raise EncodeError(value, f"nesting deeper than {_MAX_DEPTH}")
+        buf += prefix
+        if not pre_keys:
+            return
+        depth += 2
+        if depth > _MAX_DEPTH:
+            raise EncodeError(value, f"nesting deeper than {_MAX_DEPTH}")
+        lookup = _DISPATCH.get
+        for key_pre, name in pre_keys:
+            buf += key_pre
+            item = getattr(value, name)
+            item_handler = lookup(type(item))
+            if item_handler is not None:
+                item_handler(buf, item, depth)
+            else:
+                _encode_fallback(buf, item, depth)
+
+    return handler
+
+
+def _encode_exception(buf, exc, depth):
+    class_name, args = registry.exception_to_wire(exc)
+    # Exception args may themselves be un-encodable objects; degrade
+    # them to their repr rather than failing the whole response.
+    safe_args = []
+    for arg in args:
+        try:
+            _encode_value(bytearray(), arg, depth + 1)
+        except EncodeError:
+            safe_args.append(repr(arg))
+        else:
+            safe_args.append(arg)
+    buf += TAG_EXCEPTION
+    _encode_value(buf, class_name, depth + 1)
+    _encode_value(buf, tuple(safe_args), depth + 1)
+
+
+_DISPATCH = {
+    type(None): _encode_none,
+    bool: _encode_bool,
+    int: _encode_int,
+    float: _encode_float,
+    str: _encode_str,
+    bytes: _encode_bytes,
+    bytearray: _encode_bytes,
+    memoryview: _encode_memoryview,
+    list: _encode_list,
+    tuple: _encode_tuple,
+    dict: _encode_dict,
+    set: _encode_set,
+    frozenset: _encode_frozenset,
+    RemoteRef: _encode_remote_ref,
+}
 
 
 class Encoder:
     """Streams values into an internal buffer.
 
     One encoder instance per message; call :meth:`encode` for each root
-    value and :meth:`getvalue` for the final bytes.
+    value and :meth:`getvalue` (a detached ``bytes`` copy) or
+    :meth:`getbuffer` (a zero-copy ``memoryview``) for the result.
+
+    Pass a ``bytearray`` to reuse a caller-owned buffer (typically from
+    a :class:`~repro.wire.buffers.BufferPool`); the encoder appends to
+    whatever the buffer already holds.
     """
 
-    def __init__(self):
-        self._buf = bytearray()
+    __slots__ = ("_buf",)
+
+    def __init__(self, buffer: bytearray = None):
+        self._buf = bytearray() if buffer is None else buffer
 
     def getvalue(self) -> bytes:
-        """The bytes encoded so far."""
+        """The bytes encoded so far (a detached, immutable copy)."""
         return bytes(self._buf)
+
+    def getbuffer(self) -> memoryview:
+        """A zero-copy view of the bytes encoded so far.
+
+        The view is only valid until the underlying buffer changes: a
+        further :meth:`encode` (or the pool reclaiming the buffer) needs
+        to resize it, which Python forbids while a view is exported.
+        Release the view (``view.release()``) before encoding more.
+        """
+        return memoryview(self._buf)
 
     def __len__(self):
         return len(self._buf)
 
     def encode(self, value) -> "Encoder":
         """Append one value to the buffer; returns self for chaining."""
-        self._encode(value, 0)
+        _encode_value(self._buf, value, 0)
         return self
 
-    # -- internals ---------------------------------------------------
+    # -- framing support ----------------------------------------------
 
-    def _encode(self, value, depth):
-        if depth > _MAX_DEPTH:
-            raise EncodeError(value, f"nesting deeper than {_MAX_DEPTH}")
+    def reserve_frame_header(self) -> int:
+        """Append a 4-byte length placeholder; returns its offset."""
         buf = self._buf
-        if value is None:
-            buf += TAG_NONE
-        elif value is True:
-            buf += TAG_TRUE
-        elif value is False:
-            buf += TAG_FALSE
-        elif type(value) is int:
-            self._encode_int(value)
-        elif type(value) is float:
-            buf += TAG_FLOAT
-            buf += _f64.pack(value)
-        elif type(value) is str:
-            raw = value.encode("utf-8")
-            buf += TAG_STR
-            buf += _u32.pack(len(raw))
-            buf += raw
-        elif type(value) in (bytes, bytearray, memoryview):
-            raw = bytes(value)
-            buf += TAG_BYTES
-            buf += _u32.pack(len(raw))
-            buf += raw
-        elif type(value) is list:
-            self._encode_items(TAG_LIST, value, depth)
-        elif type(value) is tuple:
-            self._encode_items(TAG_TUPLE, value, depth)
-        elif type(value) is dict:
-            buf += TAG_DICT
-            buf += _u32.pack(len(value))
-            for key, item in value.items():
-                self._encode(key, depth + 1)
-                self._encode(item, depth + 1)
-        elif type(value) is set:
-            self._encode_items(TAG_SET, canonical_set_order(value), depth)
-        elif type(value) is frozenset:
-            self._encode_items(
-                TAG_FROZENSET, canonical_set_order(value), depth
-            )
-        elif type(value) is RemoteRef:
-            self._encode_remote_ref(value, depth)
-        elif isinstance(value, BaseException):
-            self._encode_exception(value, depth)
-        elif registry.is_serializable(value):
-            self._encode_object(value, depth)
-        elif isinstance(value, int):  # bool handled above; IntEnum etc.
-            self._encode_int(int(value))
-        elif isinstance(value, RemoteRef):
-            self._encode_remote_ref(value, depth)
-        else:
-            raise EncodeError(
-                value,
-                "not a wire-native type and not registered via "
-                "repro.wire.registry.serializable",
-            )
+        offset = len(buf)
+        buf += b"\x00\x00\x00\x00"
+        return offset
 
-    def _encode_int(self, value):
-        buf = self._buf
-        if _INT64_MIN <= value <= _INT64_MAX:
-            buf += TAG_INT64
-            buf += _i64.pack(value)
-        else:
-            sign = 1 if value < 0 else 0
-            magnitude = abs(value)
-            raw = magnitude.to_bytes((magnitude.bit_length() + 7) // 8, "big")
-            buf += TAG_BIGINT
-            buf += _u32.pack(len(raw))
-            buf += bytes([sign])
-            buf += raw
+    def patch_frame_header(self, offset: int) -> None:
+        """Fill the placeholder at *offset* with the length of everything
+        encoded after it — the in-place alternative to concatenating a
+        header in front of a finished payload."""
+        from repro.wire.framing import MAX_FRAME_SIZE, FrameTooLargeError
 
-    def _encode_items(self, tag, items, depth):
-        self._buf += tag
-        self._buf += _u32.pack(len(items))
-        for item in items:
-            self._encode(item, depth + 1)
-
-    def _encode_object(self, value, depth):
-        class_name, fields = registry.object_to_wire(value)
-        self._buf += TAG_OBJECT
-        self._encode(class_name, depth + 1)
-        self._encode(dict(fields), depth + 1)
-
-    def _encode_exception(self, exc, depth):
-        class_name, args = registry.exception_to_wire(exc)
-        # Exception args may themselves be un-encodable objects; degrade
-        # them to their repr rather than failing the whole response.
-        safe_args = []
-        for arg in args:
-            try:
-                probe = Encoder()
-                probe._encode(arg, depth + 1)
-            except EncodeError:
-                safe_args.append(repr(arg))
-            else:
-                safe_args.append(arg)
-        self._buf += TAG_EXCEPTION
-        self._encode(class_name, depth + 1)
-        self._encode(tuple(safe_args), depth + 1)
-
-    def _encode_remote_ref(self, ref, depth):
-        self._buf += TAG_REMOTE_REF
-        self._encode(ref.endpoint, depth + 1)
-        self._encode(ref.object_id, depth + 1)
-        self._encode(ref.interfaces, depth + 1)
+        length = len(self._buf) - offset - 4
+        if length < 0:
+            raise ValueError(f"no frame header reserved at offset {offset}")
+        if length > MAX_FRAME_SIZE:
+            # Fail on the sending side like every other framing entry
+            # point, not as a peer-side connection drop.
+            raise FrameTooLargeError(length)
+        _u32.pack_into(self._buf, offset, length)
 
 
 def _set_sort_key(item):
@@ -199,13 +457,52 @@ def canonical_set_order(values) -> list:
 
 
 def encode(value) -> bytes:
-    """Encode a single value to bytes."""
-    return Encoder().encode(value).getvalue()
+    """Encode a single value to bytes (pooled buffer under the hood)."""
+    pool = GLOBAL_POOL
+    buf = pool.acquire()
+    try:
+        _encode_value(buf, value, 0)
+        return bytes(buf)
+    finally:
+        pool.release(buf)
 
 
 def encode_many(values) -> bytes:
     """Encode several values back-to-back into one byte string."""
-    enc = Encoder()
-    for value in values:
-        enc.encode(value)
-    return enc.getvalue()
+    pool = GLOBAL_POOL
+    buf = pool.acquire()
+    try:
+        for value in values:
+            _encode_value(buf, value, 0)
+        return bytes(buf)
+    finally:
+        pool.release(buf)
+
+
+def encode_framed(value) -> bytes:
+    """Encode *value* with its u32 frame length prefix, in one buffer.
+
+    The header is reserved before encoding and patched in place after —
+    no header+payload concatenation anywhere.  The result is exactly
+    ``frame(encode(value))`` byte-for-byte, ready for a stream socket.
+
+    The RMI stack itself encodes (client/dispatch) and frames
+    (transport) in different layers, so its hot paths use
+    ``write_frame``/``writelines`` scatter-gather instead; this is the
+    one-shot path for callers that own both steps — tools, tests, and
+    the codec benchmark lane keep it honest.
+    """
+    from repro.wire.framing import MAX_FRAME_SIZE, FrameTooLargeError
+
+    pool = GLOBAL_POOL
+    buf = pool.acquire()
+    try:
+        buf += b"\x00\x00\x00\x00"
+        _encode_value(buf, value, 0)
+        length = len(buf) - 4
+        if length > MAX_FRAME_SIZE:
+            raise FrameTooLargeError(length)
+        _u32.pack_into(buf, 0, length)
+        return bytes(buf)
+    finally:
+        pool.release(buf)

@@ -3,6 +3,19 @@
 TCP delivers a byte stream; the RMI protocol exchanges discrete messages.
 Frames are ``u32 length`` + payload.  A maximum frame size guards both
 sides against a corrupt or hostile length prefix.
+
+**Zero-copy pipeline.**  The hot paths never glue header and payload
+into a fresh buffer:
+
+- :func:`frame_views` hands back the ``(header, payload)`` scatter list;
+- :func:`write_frame` pushes that list through ``socket.sendmsg`` —
+  scatter-gather I/O, no concatenation (falling back to ``sendall``
+  where ``sendmsg`` does not exist);
+- :class:`FrameReceiver` reads frames with ``recv_into`` into one
+  reusable per-connection buffer and yields ``memoryview`` windows of
+  it, so the decoder can run straight off the receive buffer;
+- :func:`frame` survives as the compatibility wrapper for callers that
+  want one contiguous ``bytes`` (tests, golden fixtures, legacy code).
 """
 
 from __future__ import annotations
@@ -27,11 +40,52 @@ class FrameTooLargeError(DecodeError):
         super().__init__(f"frame of {size} bytes exceeds limit {MAX_FRAME_SIZE}")
 
 
+def frame_views(payload):
+    """The ``(header, payload)`` scatter list for one frame.
+
+    No copy of *payload* is made; pass the pair to ``sendmsg`` /
+    ``writelines`` (or join it for a contiguous frame).
+    """
+    size = len(payload)
+    if size > MAX_FRAME_SIZE:
+        raise FrameTooLargeError(size)
+    return _u32.pack(size), payload
+
+
 def frame(payload: bytes) -> bytes:
-    """Wrap *payload* in a length prefix."""
-    if len(payload) > MAX_FRAME_SIZE:
-        raise FrameTooLargeError(len(payload))
-    return _u32.pack(len(payload)) + payload
+    """Wrap *payload* in a length prefix (compatibility path).
+
+    Thin wrapper over :func:`frame_views`; prefer :func:`write_frame`
+    (sockets) or the views themselves (``writelines``) on hot paths —
+    this variant pays one header+payload concatenation.
+    """
+    header, body = frame_views(payload)
+    return header + body
+
+
+def write_frame(sock, payload) -> None:
+    """Send one framed message with scatter-gather I/O.
+
+    ``sendmsg([header, payload])`` hands the kernel both pieces in one
+    syscall without building a contiguous copy.  Short writes are
+    finished with ``sendall`` over a zero-copy view of the remainder.
+    """
+    header, body = frame_views(payload)
+    sendmsg = getattr(sock, "sendmsg", None)
+    if sendmsg is None:  # fake/test sockets and exotic platforms
+        sock.sendall(header)
+        sock.sendall(body)
+        return
+    sent = sendmsg((header, body))
+    total = 4 + len(body)
+    if sent >= total:
+        return
+    # Short write: finish from the first unsent byte, copy-free.
+    if sent < 4:
+        sock.sendall(header[sent:])
+        sock.sendall(body)
+    else:
+        sock.sendall(memoryview(body)[sent - 4 :])
 
 
 def read_frame(sock) -> bytes:
@@ -64,6 +118,69 @@ def _read_exact(sock, count, allow_eof):
         chunks.append(chunk)
         got += len(chunk)
     return b"".join(chunks)
+
+
+class FrameReceiver:
+    """Reads frames into one reusable buffer with ``recv_into``.
+
+    One receiver per connection.  :meth:`receive` returns a
+    ``memoryview`` window of the internal buffer — **valid only until
+    the next** :meth:`receive` **call** — or ``b""`` on clean EOF at a
+    frame boundary.  Callers that must keep the payload past the next
+    frame take their own ``bytes(view)`` copy; callers that decode
+    immediately (the server loop) run zero-copy.
+
+    The buffer grows by replacement (never in-place resize), so a view
+    of the previous frame can still be alive when a larger frame
+    arrives without tripping ``BufferError``.
+    """
+
+    #: Starting payload-buffer capacity; covers typical RMI messages.
+    INITIAL_CAPACITY = 8192
+
+    def __init__(self, initial_capacity: int = INITIAL_CAPACITY):
+        self._buf = bytearray(max(1, initial_capacity))
+        self._header = bytearray(4)
+
+    @property
+    def capacity(self) -> int:
+        """Current size of the reusable payload buffer."""
+        return len(self._buf)
+
+    def receive(self, sock):
+        """Read one frame; view of the payload, or ``b""`` on clean EOF."""
+        if not self._fill(sock, self._header, 4, allow_eof=True):
+            return b""
+        (length,) = _u32.unpack(self._header)
+        if length > MAX_FRAME_SIZE:
+            raise FrameTooLargeError(length)
+        if length > len(self._buf):
+            # Replace, don't resize: outstanding views keep the old
+            # buffer alive and untouched.
+            new_size = len(self._buf)
+            while new_size < length:
+                new_size *= 2
+            self._buf = bytearray(new_size)
+        self._fill(sock, self._buf, length, allow_eof=False)
+        return memoryview(self._buf)[:length]
+
+    @staticmethod
+    def _fill(sock, buf, count, allow_eof):
+        """recv_into *buf* until *count* bytes arrived; False on clean EOF."""
+        if not count:
+            return True
+        view = memoryview(buf)
+        got = 0
+        while got < count:
+            read = sock.recv_into(view[got:count])
+            if read == 0:
+                if allow_eof and got == 0:
+                    return False
+                raise DecodeError(
+                    f"connection closed mid-frame ({got}/{count} bytes read)"
+                )
+            got += read
+        return True
 
 
 class FrameBuffer:

@@ -27,6 +27,7 @@ from repro.wire.errors import EncodeError, UnregisteredClassError
 _lock = threading.Lock()
 _classes: dict = {}
 _class_names: dict = {}
+_class_fields: dict = {}  # cls -> tuple of dataclass field names (or None)
 _exceptions: dict = {}
 _exception_names: dict = {}
 
@@ -55,9 +56,16 @@ def serializable(cls):
             "to be registered as serializable"
         )
     name = qualified_name(cls)
+    # Field names are immutable per class: resolve them once here so the
+    # encoder never walks dataclasses.fields() on the per-message path.
+    if _has_wire_hooks(cls):
+        field_names = None
+    else:
+        field_names = tuple(f.name for f in dataclasses.fields(cls))
     with _lock:
         _classes[name] = cls
         _class_names[cls] = name
+        _class_fields[cls] = field_names
     return cls
 
 
@@ -95,11 +103,19 @@ def object_to_wire(value):
     name = _class_names.get(cls)
     if name is None:
         raise EncodeError(value, "class not registered as serializable")
-    if _has_wire_hooks(cls):
+    field_names = _class_fields.get(cls)
+    if field_names is None:
         fields = value.to_wire()
     else:
-        fields = {f.name: getattr(value, f.name) for f in dataclasses.fields(value)}
+        fields = {f: getattr(value, f) for f in field_names}
     return name, fields
+
+
+def wire_fields_of(cls):
+    """The registered field-name tuple for a dataclass, or ``None`` for
+    classes using ``to_wire``/``from_wire`` hooks (and for unregistered
+    classes).  The encoder uses this to pre-bake per-class handlers."""
+    return _class_fields.get(cls)
 
 
 def object_from_wire(class_name, fields):
@@ -107,7 +123,9 @@ def object_from_wire(class_name, fields):
     cls = _classes.get(class_name)
     if cls is None:
         raise UnregisteredClassError(class_name)
-    if _has_wire_hooks(cls):
+    # _class_fields discriminates hook classes (None) from dataclasses
+    # without re-probing to_wire/from_wire attributes per message.
+    if _class_fields.get(cls) is None:
         return cls.from_wire(fields)
     return cls(**fields)
 

@@ -170,7 +170,7 @@ class TestInterop:
         """The pipelining handshake falls back against a legacy server."""
         tcp = TcpNetwork()
         try:
-            listener = tcp.listen("tcp://127.0.0.1:0", lambda p: p + b".")
+            listener = tcp.listen("tcp://127.0.0.1:0", lambda p: bytes(p) + b".")
             channel = net.connect(listener.address)
             assert not channel.pipelined
             assert channel.request(b"fallback") == b"fallback."

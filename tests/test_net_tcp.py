@@ -30,7 +30,7 @@ class TestParse:
 
 class TestRoundTrip:
     def test_request_response(self, net):
-        listener = net.listen("tcp://127.0.0.1:0", lambda p: p.upper())
+        listener = net.listen("tcp://127.0.0.1:0", lambda p: bytes(p).upper())
         channel = net.connect(listener.address)
         assert channel.request(b"hello") == b"HELLO"
 
@@ -52,7 +52,7 @@ class TestRoundTrip:
         assert channel.request(blob) == blob
 
     def test_concurrent_clients(self, net):
-        listener = net.listen("tcp://127.0.0.1:0", lambda p: p * 2)
+        listener = net.listen("tcp://127.0.0.1:0", lambda p: bytes(p) * 2)
         results = {}
         errors = []
 
@@ -188,7 +188,7 @@ class TestListenerShutdown:
         listener = network.listen("tcp://127.0.0.1:0", lambda p: p)
         address = listener.address
         listener.close()
-        relisten = network.listen(address, lambda p: p + b"2")
+        relisten = network.listen(address, lambda p: bytes(p) + b"2")
         channel = network.connect(address)
         assert channel.request(b"x") == b"x2"
         network.close()

@@ -1,0 +1,131 @@
+"""Unit tests for the wire layer's reusable buffer pool."""
+
+import threading
+
+import pytest
+
+from repro.wire import encode, decode, EncodeError
+from repro.wire.buffers import BufferPool, GLOBAL_POOL
+
+
+class TestBufferPool:
+    def test_acquire_returns_empty_bytearray(self):
+        pool = BufferPool()
+        buf = pool.acquire()
+        assert isinstance(buf, bytearray)
+        assert len(buf) == 0
+
+    def test_release_then_acquire_reuses(self):
+        pool = BufferPool()
+        buf = pool.acquire()
+        buf += b"payload"
+        pool.release(buf)
+        again = pool.acquire()
+        assert again is buf
+        assert len(again) == 0  # cleared on release
+
+    def test_lifo_order(self):
+        pool = BufferPool()
+        a, b = pool.acquire(), pool.acquire()
+        pool.release(a)
+        pool.release(b)
+        assert pool.acquire() is b
+        assert pool.acquire() is a
+
+    def test_bounded_to_max_buffers(self):
+        pool = BufferPool(max_buffers=2)
+        bufs = [pool.acquire() for _ in range(4)]
+        for buf in bufs:
+            pool.release(buf)
+        assert pool.size == 2
+
+    def test_zero_capacity_pool_never_retains(self):
+        pool = BufferPool(max_buffers=0)
+        buf = pool.acquire()
+        pool.release(buf)
+        assert pool.size == 0
+        assert pool.acquire() is not buf
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BufferPool(max_buffers=-1)
+
+    def test_release_rejects_non_bytearray(self):
+        pool = BufferPool()
+        with pytest.raises(TypeError):
+            pool.release(b"immutable")
+
+    def test_counters(self):
+        pool = BufferPool()
+        first = pool.acquire()
+        assert pool.acquired == 1
+        assert pool.reused == 0
+        pool.release(first)
+        pool.acquire()
+        assert pool.acquired == 2
+        assert pool.reused == 1
+
+    def test_freelists_are_per_thread(self):
+        pool = BufferPool()
+        pool.release(pool.acquire())
+        assert pool.size == 1
+        seen = {}
+
+        def probe():
+            seen["size"] = pool.size
+
+        thread = threading.Thread(target=probe)
+        thread.start()
+        thread.join()
+        # The other thread's freelist starts empty; ours is untouched.
+        assert seen["size"] == 0
+        assert pool.size == 1
+
+    def test_thread_churn_yields_valid_buffers(self):
+        pool = BufferPool(max_buffers=4)
+        errors = []
+
+        def churn():
+            try:
+                for i in range(200):
+                    buf = pool.acquire()
+                    assert len(buf) == 0
+                    buf += bytes([i % 256]) * (i % 17)
+                    pool.release(buf)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+
+class TestPooledEncodeHygiene:
+    """The pool must never leak one message's bytes into the next."""
+
+    def test_encode_error_mid_message_leaves_no_stale_bytes(self):
+        class Unencodable:
+            pass
+
+        # Fails after "prefix" and 1 already landed in the pooled buffer.
+        with pytest.raises(EncodeError):
+            encode(["prefix", 1, Unencodable()])
+        clean = encode(["clean"])
+        assert decode(clean) == ["clean"]
+        # Byte-exact: nothing from the failed message leaked in front.
+        assert clean == encode(["clean"])
+        assert b"prefix" not in clean
+
+    def test_interleaved_messages_are_independent(self):
+        blobs = [encode({"k": i, "payload": b"x" * i}) for i in range(50)]
+        for i, blob in enumerate(blobs):
+            assert decode(blob) == {"k": i, "payload": b"x" * i}
+
+    def test_global_pool_reuses_across_messages(self):
+        before = GLOBAL_POOL.reused
+        for _ in range(5):
+            encode([1, "two", 3.0])
+        assert GLOBAL_POOL.reused > before

@@ -217,3 +217,118 @@ class TestMany:
         assert len(enc) == 0
         enc.encode("abcd")
         assert len(enc) == len(enc.getvalue())
+
+
+class TestZeroCopyEdgeCases:
+    """Edge cases the zero-copy pipeline could plausibly break."""
+
+    @pytest.mark.parametrize(
+        "value",
+        [[], (), {}, set(), frozenset(), "", b"", {"": b""}, [(), {}, set()]],
+    )
+    def test_empty_shapes_roundtrip(self, value):
+        assert decode(encode(value)) == value
+
+    def test_empty_container_at_depth_limit(self):
+        # 100 wrappers put the innermost (empty) list at the limit; it
+        # recurses into nothing, so it must still encode and decode.
+        value = []
+        for _ in range(100):
+            value = [value]
+        assert decode(encode(value)) == value
+
+    def test_one_past_depth_limit_rejected(self):
+        value = []
+        for _ in range(101):
+            value = [value]
+        with pytest.raises(EncodeError):
+            encode(value)
+
+    def test_memoryview_input_encodes_as_bytes(self):
+        view = memoryview(b"abcdef")
+        assert encode(view) == encode(b"abcdef")
+        assert decode(encode(view)) == b"abcdef"
+
+    def test_memoryview_slice_and_cast_inputs(self):
+        view = memoryview(b"abcdef")[2:5]
+        assert decode(encode(view)) == b"cde"
+        ints = memoryview(b"\x01\x00\x00\x00").cast("I")
+        assert decode(encode(ints)) == b"\x01\x00\x00\x00"
+
+    def test_non_contiguous_memoryview_matches_tobytes(self):
+        view = memoryview(b"abcdef")[::2]
+        assert decode(encode(view)) == view.tobytes()
+
+    def test_decode_rejects_non_contiguous_view_with_decode_error(self):
+        with pytest.raises(DecodeError):
+            decode(memoryview(b"abcdef")[::2])
+
+    def test_decode_from_memoryview_window(self):
+        wire = encode({"k": [1, "two"]})
+        padded = b"\xaa\xbb" + wire + b"\xcc"
+        window = memoryview(padded)[2 : 2 + len(wire)]
+        assert decode(window) == {"k": [1, "two"]}
+
+    def test_decoded_bytes_detached_from_source_buffer(self):
+        # Simulates a transport's reusable receive buffer being
+        # overwritten by the next frame: decoded bytes must not change.
+        source = bytearray(encode({"payload": b"sensitive"}))
+        decoded = decode(memoryview(source))
+        source[:] = b"\x00" * len(source)
+        assert decoded == {"payload": b"sensitive"}
+
+    def test_decoded_str_detached_from_source_buffer(self):
+        source = bytearray(encode("hello"))
+        decoded = decode(memoryview(source))
+        source[:] = b"\x00" * len(source)
+        assert decoded == "hello"
+
+    def test_encode_framed_matches_frame_of_encode(self):
+        from repro.wire import encode_framed, frame
+
+        for value in (None, [1, "x"], {"k": b"v" * 100}, Point(1, 2)):
+            assert encode_framed(value) == frame(encode(value))
+
+    def test_getbuffer_is_live_view(self):
+        enc = Encoder()
+        enc.encode(7)
+        view = enc.getbuffer()
+        assert bytes(view) == enc.getvalue()
+        view.release()  # must release before encoding more
+        enc.encode(8)
+        assert decode_many(enc.getvalue()) == [7, 8]
+
+    def test_caller_supplied_buffer(self):
+        buf = bytearray()
+        Encoder(buf).encode([1, 2])
+        assert decode(bytes(buf)) == [1, 2]
+
+    def test_frame_header_reserve_and_patch(self):
+        enc = Encoder()
+        offset = enc.reserve_frame_header()
+        enc.encode("payload")
+        enc.patch_frame_header(offset)
+        framed = enc.getvalue()
+        length = int.from_bytes(framed[:4], "big")
+        assert length == len(framed) - 4
+        assert decode(framed[4:]) == "payload"
+
+    def test_int_enum_still_encodes_as_int(self):
+        import enum
+
+        class Color(enum.IntEnum):
+            RED = 3
+
+        assert encode(Color.RED) == encode(3)
+        assert decode(encode(Color.RED)) == 3
+
+    def test_str_cache_differentiates_equal_prefix(self):
+        # Repeated strings hit the encoder's memo; ensure distinct
+        # strings with shared prefixes never cross wires.
+        for s in ("abc", "abcd", "abc", "ab"):
+            assert decode(encode(s)) == s
+
+    def test_bigint_truncated_magnitude_rejected(self):
+        wire = bytearray(encode(2**80))
+        with pytest.raises(TruncatedError):
+            decode(bytes(wire[:-1]))

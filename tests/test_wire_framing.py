@@ -81,3 +81,180 @@ class TestFrameBuffer:
         buf.feed((MAX_FRAME_SIZE + 1).to_bytes(4, "big"))
         with pytest.raises(FrameTooLargeError):
             list(buf.frames())
+
+
+class ChunkySocket:
+    """recv_into() in deliberately awkward chunk sizes; sendmsg-capable."""
+
+    def __init__(self, data, chunk=3, sendmsg_budget=None):
+        self._stream = io.BytesIO(data)
+        self._chunk = chunk
+        self.sent = bytearray()
+        #: None = unlimited; an int caps bytes accepted per sendmsg call
+        #: so short-write handling gets exercised.
+        self._sendmsg_budget = sendmsg_budget
+
+    def recv_into(self, view):
+        data = self._stream.read(min(len(view), self._chunk))
+        view[: len(data)] = data
+        return len(data)
+
+    def sendmsg(self, buffers):
+        flat = b"".join(bytes(b) for b in buffers)
+        if self._sendmsg_budget is not None:
+            flat = flat[: self._sendmsg_budget]
+        self.sent += flat
+        return len(flat)
+
+    def sendall(self, data):
+        self.sent += bytes(data)
+
+
+class SendallOnlySocket:
+    """No sendmsg attribute at all (exotic platform / test double)."""
+
+    def __init__(self):
+        self.sent = bytearray()
+
+    def sendall(self, data):
+        self.sent += bytes(data)
+
+
+class TestFrameViews:
+    def test_views_join_to_frame(self):
+        from repro.wire import frame_views
+
+        header, body = frame_views(b"hello")
+        assert header + body == frame(b"hello")
+
+    def test_payload_not_copied(self):
+        from repro.wire import frame_views
+
+        payload = b"payload"
+        _, body = frame_views(payload)
+        assert body is payload
+
+    def test_oversize_rejected(self):
+        from repro.wire import frame_views
+
+        with pytest.raises(FrameTooLargeError):
+            frame_views(bytearray(MAX_FRAME_SIZE + 1))
+
+
+class TestWriteFrame:
+    def test_sendmsg_path(self):
+        from repro.wire import write_frame
+
+        sock = ChunkySocket(b"")
+        write_frame(sock, b"hello")
+        assert bytes(sock.sent) == frame(b"hello")
+
+    def test_short_write_mid_header(self):
+        from repro.wire import write_frame
+
+        sock = ChunkySocket(b"", sendmsg_budget=2)
+        write_frame(sock, b"hello")
+        assert bytes(sock.sent) == frame(b"hello")
+
+    def test_short_write_mid_payload(self):
+        from repro.wire import write_frame
+
+        sock = ChunkySocket(b"", sendmsg_budget=6)
+        write_frame(sock, b"hello")
+        assert bytes(sock.sent) == frame(b"hello")
+
+    def test_sendall_fallback(self):
+        from repro.wire import write_frame
+
+        sock = SendallOnlySocket()
+        write_frame(sock, b"hello")
+        assert bytes(sock.sent) == frame(b"hello")
+
+    def test_memoryview_payload(self):
+        from repro.wire import write_frame
+
+        sock = ChunkySocket(b"")
+        write_frame(sock, memoryview(b"hello"))
+        assert bytes(sock.sent) == frame(b"hello")
+
+    def test_oversize_rejected_before_sending(self):
+        from repro.wire import write_frame
+
+        sock = ChunkySocket(b"")
+        with pytest.raises(FrameTooLargeError):
+            write_frame(sock, bytearray(MAX_FRAME_SIZE + 1))
+        assert not sock.sent
+
+
+class TestFrameReceiver:
+    def test_roundtrip(self):
+        from repro.wire import FrameReceiver
+
+        receiver = FrameReceiver()
+        view = receiver.receive(ChunkySocket(frame(b"hello")))
+        assert bytes(view) == b"hello"
+
+    def test_sequential_frames_reuse_buffer(self):
+        from repro.wire import FrameReceiver
+
+        receiver = FrameReceiver()
+        sock = ChunkySocket(frame(b"one") + frame(b"three"))
+        first = receiver.receive(sock)
+        assert bytes(first) == b"one"
+        second = receiver.receive(sock)
+        assert bytes(second) == b"three"
+        # The documented hazard: the first view now reads rewritten
+        # bytes — callers must detach anything they keep.
+        assert bytes(first) == b"thr"[: len(first)]
+
+    def test_clean_eof_returns_empty_bytes(self):
+        from repro.wire import FrameReceiver
+
+        assert FrameReceiver().receive(ChunkySocket(b"")) == b""
+
+    def test_eof_mid_header_raises(self):
+        from repro.wire import FrameReceiver
+
+        with pytest.raises(DecodeError):
+            FrameReceiver().receive(ChunkySocket(b"\x00\x00"))
+
+    def test_eof_mid_payload_raises(self):
+        from repro.wire import FrameReceiver
+
+        with pytest.raises(DecodeError):
+            FrameReceiver().receive(ChunkySocket(frame(b"hello")[:-2]))
+
+    def test_oversize_prefix_rejected(self):
+        from repro.wire import FrameReceiver
+
+        bad = (MAX_FRAME_SIZE + 1).to_bytes(4, "big")
+        with pytest.raises(FrameTooLargeError):
+            FrameReceiver().receive(ChunkySocket(bad))
+
+    def test_buffer_grows_by_replacement(self):
+        from repro.wire import FrameReceiver
+
+        receiver = FrameReceiver(initial_capacity=4)
+        sock = ChunkySocket(frame(b"z" * 100), chunk=33)
+        small = receiver.receive(ChunkySocket(frame(b"ab")))
+        assert bytes(small) == b"ab"
+        big = receiver.receive(sock)
+        assert bytes(big) == b"z" * 100
+        assert receiver.capacity >= 100
+        # The old, smaller buffer was replaced, not resized: the view
+        # of the small frame still reads its original backing store.
+        assert len(small) == 2
+
+    def test_empty_frame_payload(self):
+        from repro.wire import FrameReceiver
+
+        view = FrameReceiver().receive(ChunkySocket(frame(b"")))
+        assert len(view) == 0
+
+    def test_decode_straight_from_receiver_view(self):
+        from repro.wire import FrameReceiver, decode, encode
+
+        wire = encode({"k": [1, "two"], "blob": b"xyz"})
+        receiver = FrameReceiver()
+        view = receiver.receive(ChunkySocket(frame(wire), chunk=7))
+        assert decode(view) == {"k": [1, "two"], "blob": b"xyz"}
