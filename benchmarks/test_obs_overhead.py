@@ -1,0 +1,177 @@
+"""Tracing overhead: the observability layer must be near-free when off.
+
+Three runs of the aio throughput scenario (separate server process, same
+shape as ``test_throughput_aio``), varying only the tracing switch:
+
+- **off**     — no tracer installed anywhere: the instrumented hot paths
+  cost one module-global read and a ``None`` check;
+- **sampled** — tracer installed in both processes at a 10% head rate:
+  the production configuration;
+- **full**    — sample rate 1.0: every span of every batch records.
+
+The acceptance bar rides the *off* run: with tracing disabled the
+harness must stay within 5% of the recorded
+``BENCH_throughput.json`` aio result (full scale only — the stored
+result and this run use identical config, and the sleep-dominated
+workload makes throughput scheduling-bound, so the comparison is
+stable).  The traced runs get lenient sanity bars, not SLOs: they exist
+to *measure* the overhead, which EXPERIMENTS.md records.
+
+``BENCH_OBS_SCALE=smoke`` shrinks everything for CI (no bars, still
+records).  Results land in ``benchmarks/results/BENCH_obs.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.aio import AioNetwork, run_load
+from repro.obs import Tracer, install_tracer, uninstall_tracer
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_obs.json"
+THROUGHPUT_PATH = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_throughput.json"
+)
+
+pytestmark = pytest.mark.slow
+
+SHUTDOWN_TIMEOUT = 120.0
+
+SCALES = {
+    # Identical to the full throughput-benchmark config, so the "off"
+    # run is directly comparable to the stored aio_pipelined result.
+    "full": dict(clients=32, streams=6, delay=0.2, duration=2.0,
+                 warmup=0.7, workers=224, queue_depth=512,
+                 max_off_regression=0.05),
+    "smoke": dict(clients=8, streams=4, delay=0.1, duration=1.0,
+                  warmup=0.5, workers=48, queue_depth=128,
+                  max_off_regression=None),
+}
+
+
+def _scale() -> str:
+    name = os.environ.get("BENCH_OBS_SCALE", "full")
+    if name not in SCALES:
+        raise ValueError(f"unknown BENCH_OBS_SCALE {name!r}")
+    return name
+
+
+def _serve(cfg: dict, trace_sample: float = None):
+    """Start an aio load-target server process; returns (proc, address)."""
+    env = dict(os.environ)
+    src = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    argv = [sys.executable, "-m", "repro.aio", "serve", "--transport", "aio",
+            "--workers", str(cfg["workers"]),
+            "--queue-depth", str(cfg["queue_depth"])]
+    if trace_sample is not None:
+        argv += ["--trace", os.devnull, "--trace-sample", str(trace_sample)]
+    proc = subprocess.Popen(
+        argv, stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True,
+        env=env,
+    )
+    line = proc.stdout.readline().strip()
+    if not line.startswith("ADDRESS "):
+        proc.kill()
+        raise RuntimeError(f"server failed to start: {line!r}")
+    return proc, line.split(" ", 1)[1]
+
+
+def _measure(cfg: dict, trace_sample: float = None):
+    """One load run; *trace_sample* None means tracing fully off."""
+    proc, address = _serve(cfg, trace_sample)
+    tracer = None
+    if trace_sample is not None:
+        tracer = install_tracer(Tracer(sample_rate=trace_sample))
+    network = AioNetwork()
+    try:
+        report = run_load(
+            network, address,
+            clients=cfg["clients"], streams=cfg["streams"],
+            duration=cfg["duration"], delay=cfg["delay"],
+            warmup=cfg["warmup"],
+        )
+    finally:
+        if tracer is not None:
+            uninstall_tracer()
+        network.close()
+        proc.stdin.close()
+        try:
+            proc.wait(timeout=SHUTDOWN_TIMEOUT)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=30)
+    spans = len(tracer) if tracer is not None else 0
+    return report, spans
+
+
+class TestObsOverhead:
+    def test_tracing_overhead_is_bounded(self, results_dir):
+        scale = _scale()
+        cfg = SCALES[scale]
+
+        # Best-of-two for the gated lane: a single short window carries
+        # scheduling noise on the same order as the bar it enforces.
+        off = max(
+            (_measure(cfg, trace_sample=None)[0] for _ in range(2)),
+            key=lambda r: r.throughput,
+        )
+        sampled, sampled_spans = _measure(cfg, trace_sample=0.1)
+        full, full_spans = _measure(cfg, trace_sample=1.0)
+
+        def overhead(report):
+            if off.throughput <= 0:
+                return 0.0
+            return 1.0 - report.throughput / off.throughput
+
+        payload = {
+            "benchmark": "tracing overhead (aio throughput scenario)",
+            "scale": scale,
+            "config": {
+                "clients": cfg["clients"],
+                "streams_per_client": cfg["streams"],
+                "service_delay_s": cfg["delay"],
+                "window_s": cfg["duration"],
+            },
+            "off": off.as_dict(),
+            "sampled_10pct": dict(sampled.as_dict(),
+                                  client_spans=sampled_spans),
+            "full": dict(full.as_dict(), client_spans=full_spans),
+            "overhead_sampled": round(overhead(sampled), 4),
+            "overhead_full": round(overhead(full), 4),
+        }
+        RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print()
+        print(
+            f"[{scale}] off {off.throughput:7.1f} b/s | "
+            f"10% sampled {sampled.throughput:7.1f} b/s "
+            f"({overhead(sampled):+.1%}) | "
+            f"full {full.throughput:7.1f} b/s ({overhead(full):+.1%})"
+        )
+
+        for report in (off, sampled, full):
+            assert report.batches > 0
+            assert report.errors == ()
+        assert full_spans > 0  # full tracing actually recorded client spans
+
+        bar = cfg["max_off_regression"]
+        if bar is not None and THROUGHPUT_PATH.exists():
+            stored = json.loads(THROUGHPUT_PATH.read_text())
+            if stored.get("scale") == scale:
+                baseline = stored["aio_pipelined"]["throughput"]
+                assert off.throughput >= (1.0 - bar) * baseline, (
+                    f"tracing-disabled run regressed past {bar:.0%} of the "
+                    f"recorded aio throughput ({off.throughput:.1f} vs "
+                    f"{baseline:.1f} batches/s)"
+                )
+        if bar is not None:
+            # Lenient sanity bars on the traced lanes: measuring, not
+            # gating — but an order-of-magnitude collapse is a bug.
+            assert sampled.throughput >= 0.5 * off.throughput
+            assert full.throughput >= 0.5 * off.throughput

@@ -4,7 +4,9 @@ Traces every simulated round trip while the same three-call program runs
 first over RMI (three request/response pairs) and then as one explicit
 batch (a single pair), then renders both as sequence diagrams.  Also
 shows §4.4's loopback calls appearing on the server's own lifeline when
-a round-tripped reference is used under RMI.
+a round-tripped reference is used under RMI — and, since the trace hook
+now generalizes past the simulator, the same chart drawn from a live
+threaded-TCP run over real sockets.
 
 Run:  python examples/message_flow.py
 """
@@ -13,6 +15,7 @@ from repro import LAN, RMIClient, RMIServer, SimNetwork, create_batch
 from repro.apps.fileserver import make_directory
 from repro.apps.simulation import SimulationImpl
 from repro.net import NetworkTrace, render_sequence_diagram
+from repro.net.tcp import TcpNetwork
 
 
 def traced_network():
@@ -58,6 +61,24 @@ def main():
     sim.perform_simulation_step(3, balancer)  # server calls its own stub
     print("\nRMI identity quirk: balance() re-enters the server 3 times")
     print(render_sequence_diagram(trace))
+    network.close()
+
+    # -- the same contrast over real sockets --------------------------------
+    trace = NetworkTrace()
+    network = TcpNetwork(trace=trace)
+    server = RMIServer(network, "tcp://127.0.0.1:0").start()
+    server.bind("root", make_directory(4, 4000))
+    client = RMIClient(network, server.address)
+    batch = create_batch(client.lookup("root"))
+    trace.clear()
+    f = batch.get_file("file01.dat")
+    f.get_name()
+    f.length()
+    batch.flush()
+    print("\nLive TCP: the batched program, wall-clock timestamps")
+    print(render_sequence_diagram(trace))
+    client.close()
+    server.stop()
     network.close()
 
 

@@ -1,0 +1,102 @@
+"""A guided tour of end-to-end batch tracing (`repro.obs`).
+
+Runs the same three-call file-server program three ways over a live
+TCP connection — naive RMI (three round trips), one explicit batch
+(one round trip), and a plan-cache hit (hash + params on the wire) —
+with a tracer installed, then renders each run's span tree.  The trees
+make the paper's argument visually: batching collapses three
+`client.call` → `server.handle` columns into one whose `server.execute`
+fans out per-op, and plan reuse swaps the inline payload for a
+`server.plan` cache hit.
+
+Finishes by exporting the spans to JSONL and round-tripping them
+through the `python -m repro.obs` renderer's own loader, plus a merged
+metrics exposition for the client and server — the artifact flow the CI
+obs-smoke job drives.
+
+Run:  python examples/trace_tour.py
+"""
+
+import tempfile
+
+from repro import RMIClient, RMIServer, create_batch
+from repro.apps.fileserver import make_directory
+from repro.net.tcp import TcpNetwork
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    install_tracer,
+    read_jsonl,
+    render_span_tree,
+    uninstall_tracer,
+)
+from repro.obs.bridge import bind_client, bind_server
+
+
+def three_calls_naive(root):
+    f = root.get_file("file01.dat")
+    f.get_name()
+    f.length()
+
+
+def three_calls_batched(stub, reuse_plans=False):
+    batch = create_batch(stub, reuse_plans=reuse_plans)
+    f = batch.get_file("file01.dat")
+    f.get_name()
+    f.length()
+    batch.flush()
+
+
+def show(tracer, title):
+    print(f"\n=== {title} ===")
+    print(render_span_tree([s.to_dict() for s in tracer.spans()]))
+    tracer.clear()
+
+
+def main():
+    tracer = install_tracer(Tracer())
+    registry = MetricsRegistry()
+    network = TcpNetwork()
+    server = RMIServer(network, "tcp://127.0.0.1:0").start()
+    server.bind("root", make_directory(4, 4000))
+    client = RMIClient(network, server.address)
+    bind_server(registry, server)
+    bind_client(registry, client)
+    try:
+        root = client.lookup("root")
+        tracer.clear()  # the tour starts after setup
+
+        three_calls_naive(root)
+        show(tracer, "naive RMI: three calls, three round trips")
+
+        three_calls_batched(root)
+        show(tracer, "BRMI: the same program, one round trip")
+
+        # Flush the same shape three times with plan reuse: the memo
+        # ships inline on first sight, installs the plan on the repeat,
+        # then invokes it by hash.
+        three_calls_batched(root, reuse_plans=True)
+        three_calls_batched(root, reuse_plans=True)
+        three_calls_batched(root, reuse_plans=True)
+        show(tracer, "plan reuse: hash + params, server.plan hit")
+
+        # The artifact flow: export, reload, re-render, expose metrics.
+        three_calls_batched(root)
+        with tempfile.NamedTemporaryFile(suffix=".jsonl") as fh:
+            count = tracer.export_jsonl(fh.name)
+            spans = read_jsonl(fh.name)
+        print(f"\n=== exported {count} spans, round-tripped "
+              f"{len(spans)} through JSONL ===")
+        print(render_span_tree(spans))
+
+        print("\n=== merged metrics exposition ===")
+        print(registry.render_text())
+    finally:
+        client.close()
+        server.stop()
+        network.close()
+        uninstall_tracer()
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,15 @@ share a GIL:
         --transport aio --clients 32 --streams 6 --duration 2 --delay 0.05
 
   Prints one JSON object (a :class:`~repro.aio.loadgen.LoadReport`).
+  Omitting ``--address`` stands up an in-process server (same transport)
+  for the run — handy for single-command smoke runs and for producing a
+  *connected* client+server trace.
+
+Observability (both subcommands): ``--trace FILE`` installs a tracer and
+exports every recorded span to *FILE* as JSON lines when the run ends
+(``--trace-sample`` sets the head-sampling rate); ``--metrics-json
+FILE`` dumps a mergeable metrics-registry snapshot.  Inspect either with
+``python -m repro.obs``.
 """
 
 from __future__ import annotations
@@ -41,30 +50,101 @@ def _network(kind: str, args) -> object:
     raise SystemExit(f"unknown transport {kind!r}; want aio or tcp")
 
 
+def _tracer_for(args):
+    """Install a tracer when ``--trace`` asks for one; returns it or None."""
+    if not args.trace:
+        return None
+    from repro.obs import Tracer, install_tracer
+
+    return install_tracer(Tracer(sample_rate=args.trace_sample))
+
+
+def _finish_tracing(tracer, args) -> None:
+    if tracer is None:
+        return
+    from repro.obs import uninstall_tracer
+
+    uninstall_tracer()
+    count = tracer.export_jsonl(args.trace)
+    print(f"TRACE {args.trace} {count} spans", flush=True)
+
+
+def _dump_metrics(registry, args) -> None:
+    if registry is None or not args.metrics_json:
+        return
+    with open(args.metrics_json, "w", encoding="utf-8") as fh:
+        json.dump(registry.to_dict(), fh, sort_keys=True)
+    print(f"METRICS_JSON {args.metrics_json}", flush=True)
+
+
+def _registry_for(args):
+    if not args.metrics_json:
+        return None
+    from repro.obs.metrics import MetricsRegistry
+
+    return MetricsRegistry()
+
+
 def _serve(args) -> int:
+    tracer = _tracer_for(args)
+    registry = _registry_for(args)
     network = _network(args.transport, args)
     server = RMIServer(network, f"tcp://127.0.0.1:{args.port}").start()
     server.bind(SERVICE_NAME, LoadTargetImpl())
+    if registry is not None:
+        from repro.obs.bridge import bind_server
+
+        bind_server(registry, server)
     print(f"ADDRESS {server.address}", flush=True)
     sys.stdin.read()  # serve until the parent closes our stdin
     metrics = server.metrics
+    _dump_metrics(registry, args)
     server.stop()
     network.close()
     if metrics is not None:
         print(f"METRICS {metrics}", flush=True)
+    _finish_tracing(tracer, args)
     return 0
 
 
 def _load(args) -> int:
+    tracer = _tracer_for(args)
+    registry = _registry_for(args)
     network = _network(args.transport, args)
+    server = None
+    address = args.address
+    if address is None:
+        # In-process server: one command, one process, one connected
+        # trace covering both halves of every exchange.
+        server = RMIServer(network, "tcp://127.0.0.1:0").start()
+        server.bind(SERVICE_NAME, LoadTargetImpl())
+        address = server.address
+        if registry is not None:
+            from repro.obs.bridge import bind_server
+
+            bind_server(registry, server)
     report = run_load(
-        network, args.address,
+        network, address,
         clients=args.clients, streams=args.streams,
         duration=args.duration, delay=args.delay, warmup=args.warmup,
+        registry=registry,
     )
+    _dump_metrics(registry, args)
+    if server is not None:
+        server.stop()
     network.close()
     print(json.dumps(report.as_dict()), flush=True)
+    _finish_tracing(tracer, args)
     return 0
+
+
+def _add_obs_flags(subparser) -> None:
+    subparser.add_argument("--trace", default=None, metavar="FILE",
+                           help="export a JSONL span trace to FILE")
+    subparser.add_argument("--trace-sample", type=float, default=1.0,
+                           help="head-sampling rate in [0, 1] (default 1)")
+    subparser.add_argument("--metrics-json", default=None, metavar="FILE",
+                           help="dump a mergeable metrics registry to FILE")
 
 
 def main(argv=None) -> int:
@@ -79,20 +159,23 @@ def main(argv=None) -> int:
     serve.add_argument("--port", type=int, default=0)
     serve.add_argument("--workers", type=int, default=64)
     serve.add_argument("--queue-depth", type=int, default=256)
+    _add_obs_flags(serve)
     serve.set_defaults(func=_serve)
 
     load = sub.add_parser("load", help="drive a server with batch load")
-    load.add_argument("--address", required=True)
+    load.add_argument("--address", default=None,
+                      help="server to drive (omit to serve in-process)")
     load.add_argument("--transport", default="aio", choices=("aio", "tcp"))
     load.add_argument("--workers", type=int, default=64,
-                      help="(aio) unused client-side; kept for symmetry")
+                      help="(aio) pool size for the in-process server")
     load.add_argument("--queue-depth", type=int, default=256,
-                      help="(aio) unused client-side; kept for symmetry")
+                      help="(aio) queue depth for the in-process server")
     load.add_argument("--clients", type=int, default=8)
     load.add_argument("--streams", type=int, default=4)
     load.add_argument("--duration", type=float, default=2.0)
     load.add_argument("--delay", type=float, default=0.05)
     load.add_argument("--warmup", type=float, default=0.5)
+    _add_obs_flags(load)
     load.set_defaults(func=_load)
 
     args = parser.parse_args(argv)

@@ -22,6 +22,7 @@ import asyncio
 import concurrent.futures
 import itertools
 import threading
+import time
 
 from repro.aio.frames import (
     MAGIC,
@@ -183,13 +184,16 @@ class AioChannel(Channel):
     #: this channel natively exposes an awaitable request path.
     supports_async = True
 
-    def __init__(self, loop_thread, address: str, request_timeout: float = None):
+    def __init__(self, loop_thread, address: str, request_timeout: float = None,
+                 trace=None, from_host: str = "client"):
         super().__init__()
         if request_timeout is not None and request_timeout <= 0:
             raise ValueError(f"request_timeout must be positive: {request_timeout}")
         self._loop_thread = loop_thread
         self._address = address
         self._request_timeout = request_timeout
+        self._trace = trace
+        self._from_host = from_host
         self._close_lock = threading.Lock()
         self._open = False
         connection = AioConnection(loop_thread.loop, address)
@@ -216,6 +220,7 @@ class AioChannel(Channel):
             raise ConnectionClosedError(
                 f"channel to {self._address!r} is closed"
             )
+        started = time.monotonic() if self._trace is not None else 0.0
         future = self._loop_thread.submit(self._conn.request(payload))
         try:
             response = future.result(self._request_timeout)
@@ -235,7 +240,18 @@ class AioChannel(Channel):
                 f"i/o failure talking to {self._address!r}: {exc}"
             ) from exc
         self.stats.record_request(len(payload), len(response))
+        self._trace_round_trip(started, len(payload), len(response))
         return response
+
+    def _trace_round_trip(self, started, bytes_up, bytes_down) -> None:
+        if self._trace is None:
+            return
+        from repro.net.trace import MessageEvent
+
+        self._trace.record(MessageEvent(
+            started, time.monotonic(), self._from_host, self._address,
+            bytes_up, bytes_down, False,
+        ))
 
     def request_async(self, payload: bytes):
         """Awaitable round trip, usable from *any* event loop.
@@ -249,8 +265,10 @@ class AioChannel(Channel):
         )
 
     async def _recorded_request(self, payload: bytes) -> bytes:
+        started = time.monotonic() if self._trace is not None else 0.0
         response = await self._conn.request(payload)
         self.stats.record_request(len(payload), len(response))
+        self._trace_round_trip(started, len(payload), len(response))
         return response
 
     def close(self) -> None:

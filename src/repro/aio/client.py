@@ -36,6 +36,7 @@ import asyncio
 from repro.aio.channel import AioChannel
 from repro.aio.network import AioNetwork
 from repro.net.transport import TransportError
+from repro.obs.tracer import current_tracer
 from repro.rmi.client import RMIClient
 from repro.rmi.exceptions import CommunicationError
 from repro.rmi.protocol import REGISTRY_OBJECT_ID
@@ -115,18 +116,45 @@ class AioRMIClient:
         backoff waits happen on this coroutine's loop, reconnects on a
         worker thread, so the event loop never blocks.
         """
+        tracer = current_tracer()
+        if tracer is None:
+            return await self._call_inner(object_id, method, args, kwargs)
+        with tracer.span(
+            "client.call", method=method, object_id=object_id,
+            address=self.address,
+        ) as span:
+            return await self._call_inner(
+                object_id, method, args, kwargs, trace=span, tracer=tracer
+            )
+
+    async def _call_inner(self, object_id, method, args, kwargs,
+                          trace=None, tracer=None):
         facade = self._facade
         policy = facade.retry
         call_id = facade._next_call_id() if policy is not None else ""
-        payload = facade._encode_request(object_id, method, args, kwargs,
-                                         call_id=call_id)
+        if tracer is None:
+            payload = facade._encode_request(object_id, method, args, kwargs,
+                                             call_id=call_id)
+        else:
+            with tracer.span("client.encode"):
+                payload = facade._encode_request(
+                    object_id, method, args, kwargs, call_id=call_id,
+                    trace=trace,
+                )
         if policy is None:
+            span = None
+            if tracer is not None:
+                span = tracer.span("client.send", attempt=0)
             try:
                 raw = await self._channel.request_async(payload)
             except TransportError as exc:
+                if span is not None:
+                    span.set(error=repr(exc)).end()
                 raise CommunicationError(
                     f"remote call {method!r} to {self.address!r} failed: {exc}"
                 ) from exc
+            if span is not None:
+                span.set(bytes_up=len(payload), bytes_down=len(raw)).end()
             return facade._decode_response(raw)
         last = None
         for attempt in range(policy.max_attempts):
@@ -136,12 +164,25 @@ class AioRMIClient:
             # reconnect after a drop (blocking dial + handshake) is
             # pushed to a worker thread.
             channel = facade.channel
+            span = None
+            if tracer is not None:
+                # A resend is a failure artifact: force-record it even
+                # in an unsampled trace.
+                span = tracer.span(
+                    "client.send", attempt=attempt, force=attempt > 0
+                )
             try:
                 if channel is None:
                     channel = await asyncio.to_thread(facade._live_channel)
                 raw = await channel.request_async(payload)
+                if span is not None:
+                    span.set(
+                        bytes_up=len(payload), bytes_down=len(raw)
+                    ).end()
                 return facade._decode_response(raw)
             except RETRYABLE_ERRORS as exc:
+                if span is not None:
+                    span.set(error=repr(exc)).end()
                 if facade._closed:
                     # Mirror the sync client: use-after-close fails fast
                     # instead of burning the backoff budget.

@@ -41,6 +41,8 @@ from repro.aio.frames import (
 )
 from repro.aio.metrics import MetricsRecorder, ServerMetrics
 from repro.net.tcp import parse_tcp_address
+from repro.obs.hints import note_queue_wait
+from repro.obs.tracer import current_tracer
 from repro.net.transport import FaultInjectedError, Listener
 from repro.rmi.exceptions import RemoteError, ServerBusyError
 from repro.rmi.protocol import CallResponse
@@ -153,6 +155,7 @@ class AioListener(Listener):
             request_id, payload = split_envelope(frame_body)
             if not self._admit():
                 self._recorder.on_shed()
+                self._trace_shed()
                 async with write_lock:
                     writer.writelines(
                         framed_envelope_views(request_id, self._busy_payload)
@@ -190,6 +193,7 @@ class AioListener(Listener):
         while True:
             if not self._admit():
                 self._recorder.on_shed()
+                self._trace_shed()
                 response = self._busy_payload
             else:
                 task = self._loop.create_task(self._execute_admitted(payload))
@@ -203,6 +207,16 @@ class AioListener(Listener):
             payload = await read_frame_async(reader)
             if payload == b"":
                 return
+
+    def _trace_shed(self) -> None:
+        """Force-record a shed marker: overload must be visible in traces
+        at any sample rate (the request was never decoded, so there is no
+        context to parent under — sheds are roots)."""
+        tracer = current_tracer()
+        if tracer is not None:
+            now = tracer.now()
+            tracer.record("server.shed", now, now, parent=None, force=True,
+                          capacity=self._capacity)
 
     def _admit(self) -> bool:
         # Only the event loop mutates _in_flight, so this needs no lock.
@@ -239,6 +253,10 @@ class AioListener(Listener):
         start/done accounting cannot be split from its execution.
         """
         self._recorder.on_start()
+        if current_tracer() is not None:
+            # Deposit the admitted->started wait for the dispatch core to
+            # attach to this request's server span (same worker thread).
+            note_queue_wait(time.monotonic() - admitted_at)
         try:
             try:
                 return self._handler(payload)

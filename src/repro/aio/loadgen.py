@@ -94,7 +94,8 @@ class LoadReport:
 
 
 def run_load(network, address: str, *, clients: int, streams: int,
-             duration: float, delay: float, warmup: float = 0.5) -> LoadReport:
+             duration: float, delay: float, warmup: float = 0.5,
+             registry=None) -> LoadReport:
     """Sustain load against *address* and measure batch throughput.
 
     Opens *clients* connections on *network*; each runs *streams*
@@ -103,6 +104,10 @@ def run_load(network, address: str, *, clients: int, streams: int,
     opens; only batches completing inside it count.  Requests the server
     sheds (:class:`ServerBusyError`) are retried and tallied, never
     counted as completions.
+
+    *registry*, if given, is a :class:`~repro.obs.metrics.MetricsRegistry`
+    every load client publishes its traffic into (under one ``client``
+    prefix — collector semantics sum across connections).
     """
     stop = threading.Event()
     window = {"start": None, "end": None}
@@ -111,6 +116,11 @@ def run_load(network, address: str, *, clients: int, streams: int,
     errors = []
     barrier = threading.Barrier(clients * streams + 1)
     rmi_clients = [RMIClient(network, address) for _ in range(clients)]
+    if registry is not None:
+        from repro.obs.bridge import bind_client
+
+        for rmi_client in rmi_clients:
+            bind_client(registry, rmi_client)
 
     def stream(worker_index: int, client: RMIClient) -> None:
         # The barrier comes first, unconditionally: a stream that dies

@@ -12,17 +12,25 @@ them into an immutable :class:`ServerMetrics`.
 Service time is measured admission→completion, so it *includes* queue
 wait: p99 rising while p50 holds is the classic early-overload signature
 this is meant to surface.
+
+The sample reservoir and percentile math are the shared
+:class:`~repro.obs.metrics.Histogram` — one implementation serves this
+recorder, the metrics registry, and anything else that needs windowed
+percentiles.
 """
 
 from __future__ import annotations
 
-import math
 import threading
-from collections import deque
 from dataclasses import dataclass
+
+from repro.obs.metrics import Histogram, percentile
 
 #: Service-time samples retained for the percentile estimates.
 DEFAULT_WINDOW = 2048
+
+#: Backward-compatible alias: the percentile function moved to repro.obs.
+_percentile = percentile
 
 
 @dataclass(frozen=True)
@@ -53,7 +61,7 @@ class MetricsRecorder:
         self._running = 0
         self._served = 0
         self._shed = 0
-        self._samples = deque(maxlen=window)
+        self._samples = Histogram("service_time", window=window)
 
     def on_admit(self) -> None:
         """A request passed admission control (now queued or running)."""
@@ -71,7 +79,7 @@ class MetricsRecorder:
             self._admitted -= 1
             self._running -= 1
             self._served += 1
-            self._samples.append(service_seconds)
+        self._samples.observe(service_seconds)
 
     def on_shed(self) -> None:
         """Admission control rejected a request."""
@@ -84,22 +92,19 @@ class MetricsRecorder:
         with self._lock:
             self._admitted -= 1
 
+    @property
+    def service_times(self) -> Histogram:
+        """The service-time histogram (shareable with a MetricsRegistry)."""
+        return self._samples
+
     def snapshot(self) -> ServerMetrics:
+        p50, p99 = self._samples.percentiles((0.50, 0.99))
         with self._lock:
-            ordered = sorted(self._samples)
             return ServerMetrics(
                 in_flight=self._admitted,
                 queued=max(0, self._admitted - self._running),
                 served=self._served,
                 shed=self._shed,
-                p50_ms=_percentile(ordered, 0.50) * 1e3,
-                p99_ms=_percentile(ordered, 0.99) * 1e3,
+                p50_ms=p50 * 1e3,
+                p99_ms=p99 * 1e3,
             )
-
-
-def _percentile(ordered, q):
-    """Nearest-rank percentile of an already-sorted sample list."""
-    if not ordered:
-        return 0.0
-    rank = max(1, math.ceil(q * len(ordered)))
-    return ordered[min(rank, len(ordered)) - 1]

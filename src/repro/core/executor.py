@@ -35,6 +35,7 @@ from repro.core.policies import (
 from repro.core.recording import NONE_ID, ROOT_SEQ, ArgRef, BatchResponse, InvocationData
 from repro.core.session import SessionStore
 from repro.net.conditions import CHARGE_BATCH_OP, CHARGE_BATCH_SETUP
+from repro.obs.tracer import current_tracer
 from repro.rmi.exceptions import MarshalError, NoSuchMethodError
 from repro.rmi.marshal import marshal, unmarshal
 from repro.rmi.remote import RemoteObject, interface_names
@@ -101,6 +102,27 @@ class BatchExecutor:
         *validated* skips the wire-shape re-check: the plan runtime
         validates a shape once at install time and replays it many times.
         """
+        tracer = current_tracer()
+        if tracer is None:
+            return self._invoke_batch_inner(
+                root_obj, invocations, policy, session_id, keep_session,
+                validated,
+            )
+        with tracer.span(
+            "server.execute", ops=len(invocations), validated=validated,
+        ) as span:
+            response = self._invoke_batch_inner(
+                root_obj, invocations, policy, session_id, keep_session,
+                validated,
+            )
+            if response.restarts:
+                span.set(restarts=response.restarts)
+            return response
+
+    def _invoke_batch_inner(self, root_obj, invocations, policy,
+                            session_id: int = NONE_ID,
+                            keep_session: bool = False,
+                            validated: bool = False) -> BatchResponse:
         if validated:
             invocations = tuple(invocations)
         else:
@@ -305,6 +327,31 @@ class BatchExecutor:
         result/exception is meaningful.  REPEAT retries in place (bounded);
         RESTART unwinds via :class:`_RestartSignal`.
         """
+        tracer = current_tracer()
+        if tracer is None:
+            return self._call_with_policy_inner(
+                target, inv, args, kwargs, policy, index
+            )
+        span = tracer.span(
+            "server.op", method=inv.method,
+            seq=inv.seq if index is None else index,
+        )
+        try:
+            result, exc, action = self._call_with_policy_inner(
+                target, inv, args, kwargs, policy, index
+            )
+        except _RestartSignal:
+            span.set(action="RESTART").end()
+            raise
+        if exc is not None:
+            span.set(
+                error=repr(exc), action=getattr(action, "name", str(action))
+            )
+        span.end()
+        return result, exc, action
+
+    def _call_with_policy_inner(self, target, inv, args, kwargs, policy,
+                                index: int = None):
         attempts = 0
         policy_index = inv.seq if index is None else index
         while True:

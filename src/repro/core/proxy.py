@@ -34,6 +34,7 @@ from repro.net.conditions import (
     CHARGE_BATCH_RECORD,
     CHARGE_PROXY_CREATE,
 )
+from repro.obs.tracer import current_tracer
 from repro.rmi.exceptions import NoSuchMethodError
 from repro.rmi.marshal import marshal, unmarshal
 from repro.rmi.protocol import INVOKE_BATCH
@@ -363,7 +364,15 @@ class BatchRecorder:
                 self._closed = True
                 return  # empty batch, no server state to release
             invocations = tuple(self._segment)
-            response = self._ship(invocations, keep_session)
+            tracer = current_tracer()
+            if tracer is None:
+                response = self._ship(invocations, keep_session)
+            else:
+                with tracer.span(
+                    "client.flush", ops=len(invocations),
+                    keep_session=keep_session,
+                ):
+                    response = self._ship(invocations, keep_session)
             if not isinstance(response, BatchResponse):
                 raise BatchError(
                     f"server returned {type(response).__name__}, expected "

@@ -35,6 +35,18 @@ from repro.net.transport import (
     Listener,
     Network,
 )
+from repro.obs.tracer import current_tracer
+
+
+def _trace_fault(event: str, address: str) -> None:
+    """Force-record an injected-fault marker so chaos runs are legible in
+    traces at any sample rate.  Parented under the ambient span (the
+    client's send, or the server's handle) when one is live."""
+    tracer = current_tracer()
+    if tracer is not None:
+        now = tracer.now()
+        tracer.record("fault.injected", now, now, force=True,
+                      kind=event, address=address)
 
 
 class FaultInjector:
@@ -275,6 +287,8 @@ class FaultyChannel(Channel):
                 f"channel to {self.address!r} is down (injected fault)"
             )
         event = self._schedule.decide("request")
+        if event is not None:
+            _trace_fault(event, self.address)
         if event == "drop-request":
             self._sever("connection lost before the request was delivered")
         if event == "delay":
@@ -326,6 +340,8 @@ class FaultyChannel(Channel):
                 f"channel to {self.address!r} is down (injected fault)"
             )
         event = self._schedule.decide("request")
+        if event is not None:
+            _trace_fault(event, self.address)
         if event == "drop-request":
             await self._sever_async(
                 "connection lost before the request was delivered"
@@ -485,6 +501,8 @@ class FaultyNetwork(Network):
 
         def serving(payload: bytes) -> bytes:
             event = schedule.decide("request")
+            if event is not None:
+                _trace_fault(event, "server")
             if event == "drop-request":
                 raise FaultInjectedError(
                     "injected server fault: request dropped before dispatch"

@@ -27,6 +27,18 @@ class TrafficSnapshot:
         """Payload bytes in both directions."""
         return self.bytes_sent + self.bytes_received
 
+    def as_dict(self) -> dict:
+        """Flat JSON-friendly form (charges nested under ``charge.*``),
+        matching the names the metrics bridge publishes."""
+        out = {
+            "requests": self.requests,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+        }
+        for kind, count in sorted(self.charges.items()):
+            out[f"charge.{kind}"] = count
+        return out
+
 
 class TrafficStats:
     """Thread-safe request/byte/charge counters.

@@ -1,11 +1,14 @@
-"""Message-flow tracing for the simulated network.
+"""Message-flow tracing for any transport.
 
 The paper's Figure 1 contrasts the runtime architectures as message
 charts: n request/response pairs under RMI versus a single batched pair
-under BRMI.  A :class:`NetworkTrace` attached to a
-:class:`~repro.net.sim.SimNetwork` records every simulated request so
-the same charts can be regenerated from an actual run — see
-``examples/message_flow.py``.
+under BRMI.  A :class:`NetworkTrace` attached to a transport —
+``SimNetwork(trace=...)``, ``TcpNetwork(trace=...)``, or
+``AioNetwork(trace=...)`` — records every round trip so the same charts
+render from an actual run on any of them; see
+``examples/message_flow.py``.  The simulator stamps virtual seconds,
+the real transports ``time.monotonic()``; the renderer shows times
+relative to the first event, so both read the same.
 """
 
 from __future__ import annotations
@@ -17,10 +20,10 @@ from typing import List
 
 @dataclass(frozen=True)
 class MessageEvent:
-    """One request/response pair observed on the simulated network."""
+    """One request/response pair observed on a traced transport."""
 
-    started_at: float  # virtual seconds when the request left the client
-    finished_at: float  # virtual seconds when the response arrived
+    started_at: float  # seconds (virtual or monotonic) the request left
+    finished_at: float  # seconds the response arrived (same clock)
     source: str  # originating host
     target: str  # listener address
     bytes_up: int
@@ -74,7 +77,9 @@ def render_sequence_diagram(trace: NetworkTrace, client: str = "client",
     """ASCII message chart in the style of the paper's Figure 1.
 
     Loopback round trips (a host talking to itself — §4.4's stub calls)
-    render as self-arrows on the server's lifeline.
+    render as self-arrows on the server's lifeline.  Timestamps show
+    relative to the first event, so virtual-clock and monotonic-clock
+    traces read the same.
     """
     events = trace.events()
     width = 34
@@ -82,8 +87,9 @@ def render_sequence_diagram(trace: NetworkTrace, client: str = "client",
         f"{client:<12}{'':{width}}{server_label}",
         f"{'|':<12}{'':{width}}|",
     ]
+    base = events[0].started_at if events else 0.0
     for index, event in enumerate(events, start=1):
-        stamp = f"t={event.started_at * 1e3:8.3f}ms"
+        stamp = f"t={(event.started_at - base) * 1e3:8.3f}ms"
         if event.loopback:
             lines.append(
                 f"{'|':<12}{'':{width}}|--. loopback "

@@ -1,0 +1,73 @@
+"""Observability for the BRMI stack: tracing, metrics, exports.
+
+The paper's core claim is about *where time and bytes go* — n round
+trips under naive RMI collapsing into one batched exchange.  This
+package makes that observable on every transport, not just the
+simulator:
+
+- **trace-context propagation** — an optional ``trace_id``/``span_id``/
+  ``parent_id`` triple rides :class:`~repro.rmi.protocol.CallRequest`
+  (wire-compatible when absent), so one batch flush produces a single
+  connected span tree spanning client and server;
+- **span model** (:mod:`repro.obs.tracer`) — a lock-cheap per-process
+  :class:`Tracer` with head sampling; retry attempts, shed requests and
+  injected faults force-sample so failures are never invisible;
+- **unified metrics** (:mod:`repro.obs.metrics`) — a
+  :class:`MetricsRegistry` of named counters/gauges/histograms that the
+  existing fragmented telemetry (``TrafficStats``, ``ServerMetrics``,
+  plan-cache, dedup, buffer-pool) publishes into via
+  :mod:`repro.obs.bridge`, with one text exposition and mergeable
+  per-process dumps;
+- **export and rendering** (:mod:`repro.obs.export`) — JSON-lines trace
+  files, span-tree and message-chart renderers, and a well-formedness
+  checker behind ``python -m repro.obs``.
+
+Instrumented hot paths guard on :func:`current_tracer` returning
+``None``; with no tracer installed the per-request overhead is one
+module-global read.
+"""
+
+from repro.obs.context import TraceContext, current_span
+from repro.obs.export import (
+    build_trace_trees,
+    check_spans,
+    read_jsonl,
+    render_message_chart,
+    render_span_tree,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+from repro.obs.tracer import (
+    Span,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    uninstall_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "build_trace_trees",
+    "check_spans",
+    "current_span",
+    "current_tracer",
+    "install_tracer",
+    "percentile",
+    "read_jsonl",
+    "render_message_chart",
+    "render_span_tree",
+    "uninstall_tracer",
+    "write_jsonl",
+]

@@ -1,0 +1,97 @@
+"""CLI for trace files and metrics dumps: ``python -m repro.obs``.
+
+Subcommands:
+
+- ``render FILE``  — span tree per trace (``--chart`` adds the Figure-1
+  message chart built from ``client.send`` spans);
+- ``check FILE``   — well-formedness gate for CI (exit 1 on problems);
+- ``metrics FILE [FILE ...]`` — merge registry dumps and print the text
+  exposition.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.export import (
+    build_trace_trees,
+    check_spans,
+    read_jsonl,
+    render_message_chart,
+    render_span_tree,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _cmd_render(args) -> int:
+    spans = read_jsonl(args.file)
+    if not spans:
+        print("(no spans)")
+        return 0
+    print(render_span_tree(spans, max_traces=args.max_traces))
+    if args.chart:
+        print()
+        print(render_message_chart(spans))
+    return 0
+
+
+def _cmd_check(args) -> int:
+    spans = read_jsonl(args.file)
+    problems = check_spans(spans, require_names=args.require_span)
+    traces = len(build_trace_trees(spans))
+    if traces < args.min_traces:
+        problems.append(
+            f"expected at least {args.min_traces} trace(s), found {traces}"
+        )
+    if problems:
+        for problem in problems:
+            print(f"PROBLEM: {problem}", file=sys.stderr)
+        return 1
+    print(f"OK: {traces} trace(s), {len(spans)} span(s)")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    registry = MetricsRegistry()
+    for path in args.files:
+        with open(path, "r", encoding="utf-8") as fh:
+            registry.merge(json.load(fh))
+    print(registry.render_text())
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect BRMI trace files and metrics dumps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    render = sub.add_parser("render", help="render span trees from a trace")
+    render.add_argument("file", help="JSONL trace file")
+    render.add_argument("--chart", action="store_true",
+                        help="also draw the message chart")
+    render.add_argument("--max-traces", type=int, default=None,
+                        help="limit the number of traces rendered")
+    render.set_defaults(func=_cmd_render)
+
+    check = sub.add_parser("check", help="verify a trace is well formed")
+    check.add_argument("file", help="JSONL trace file")
+    check.add_argument("--min-traces", type=int, default=1)
+    check.add_argument("--require-span", action="append", default=[],
+                       metavar="NAME",
+                       help="span name that must appear (repeatable)")
+    check.set_defaults(func=_cmd_check)
+
+    metrics = sub.add_parser("metrics", help="merge and render metrics dumps")
+    metrics.add_argument("files", nargs="+", help="registry JSON dumps")
+    metrics.set_defaults(func=_cmd_metrics)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,166 @@
+"""Bridges: publish the existing stat sources into a MetricsRegistry.
+
+Each ``bind_*`` helper registers a *collector* — a closure evaluated at
+snapshot/render time — so the stat sources keep their public APIs and
+never learn about registries, and a registry snapshot is always a live
+read, not a stale copy.  Names are dotted and stable; the exposition
+(:meth:`~repro.obs.metrics.MetricsRegistry.render_text`) sorts them.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def bind_traffic_stats(registry: MetricsRegistry, stats,
+                       prefix: str = "net") -> None:
+    """Publish a :class:`~repro.net.stats.TrafficStats` (requests, bytes
+    both ways, middleware charges)."""
+
+    def collect():
+        snap = stats.snapshot()
+        out = {
+            f"{prefix}.requests": snap.requests,
+            f"{prefix}.bytes_sent": snap.bytes_sent,
+            f"{prefix}.bytes_received": snap.bytes_received,
+        }
+        for kind, count in snap.charges.items():
+            out[f"{prefix}.charge.{kind}"] = count
+        return out
+
+    registry.add_collector(collect)
+
+
+def bind_plan_cache(registry: MetricsRegistry, cache,
+                    prefix: str = "plan_cache") -> None:
+    """Publish a :class:`~repro.plan.cache.PlanCache`'s counters."""
+
+    def collect():
+        snap = cache.stats.snapshot()
+        return {
+            f"{prefix}.hits": snap.hits,
+            f"{prefix}.misses": snap.misses,
+            f"{prefix}.installs": snap.installs,
+            f"{prefix}.evictions": snap.evictions,
+            f"{prefix}.bytes_saved": snap.bytes_saved,
+            f"{prefix}.size": snap.size,
+        }
+
+    registry.add_collector(collect)
+
+
+def bind_dedup(registry: MetricsRegistry, window,
+               prefix: str = "dedup") -> None:
+    """Publish a :class:`~repro.rmi.dispatch.DedupWindow`'s counters."""
+
+    def collect():
+        return {
+            f"{prefix}.hits": window.hits,
+            f"{prefix}.executed": window.executed,
+            f"{prefix}.entries": len(window),
+        }
+
+    registry.add_collector(collect)
+
+
+def bind_buffer_pool(registry: MetricsRegistry, pool=None,
+                     prefix: str = "wire.buffers") -> None:
+    """Publish a :class:`~repro.wire.buffers.BufferPool`'s reuse counters
+    (the process-wide pool by default)."""
+    if pool is None:
+        from repro.wire.buffers import GLOBAL_POOL
+
+        pool = GLOBAL_POOL
+
+    def collect():
+        return {
+            f"{prefix}.acquired": pool.acquired,
+            f"{prefix}.reused": pool.reused,
+        }
+
+    registry.add_collector(collect)
+
+
+def bind_server_metrics(registry: MetricsRegistry, source,
+                        prefix: str = "server.runtime") -> None:
+    """Publish :class:`~repro.aio.metrics.ServerMetrics` snapshots.
+
+    *source* is anything with a ``metrics`` attribute/property returning
+    a snapshot or ``None`` (an :class:`~repro.rmi.server.RMIServer`, an
+    :class:`~repro.aio.listener.AioListener`)."""
+
+    def collect():
+        snap = source.metrics
+        if snap is None:
+            return {}
+        return {
+            f"{prefix}.in_flight": snap.in_flight,
+            f"{prefix}.queued": snap.queued,
+            f"{prefix}.served": snap.served,
+            f"{prefix}.shed": snap.shed,
+            f"{prefix}.p50_ms": snap.p50_ms,
+            f"{prefix}.p99_ms": snap.p99_ms,
+        }
+
+    registry.add_collector(collect)
+
+
+def bind_server(registry: MetricsRegistry, server,
+                prefix: str = "server") -> None:
+    """Publish everything one :class:`~repro.rmi.server.RMIServer` knows:
+    traffic, dedup, runtime metrics (aio), and — once the lazy plan
+    runtime exists — the plan cache.  Binding never *creates* the plan
+    runtime; the collector checks again at every snapshot."""
+    bind_dedup(registry, server.dedup, prefix=f"{prefix}.dedup")
+    bind_server_metrics(registry, server, prefix=f"{prefix}.runtime")
+
+    def collect_traffic():
+        try:
+            snap = server.stats.snapshot()
+        except RuntimeError:  # never started
+            return {}
+        out = {
+            f"{prefix}.requests": snap.requests,
+            f"{prefix}.bytes_sent": snap.bytes_sent,
+            f"{prefix}.bytes_received": snap.bytes_received,
+        }
+        for kind, count in snap.charges.items():
+            out[f"{prefix}.charge.{kind}"] = count
+        return out
+
+    def collect_plan_cache():
+        runtime = server._plan_runtime  # lazily created; do not force it
+        if runtime is None:
+            return {}
+        snap = runtime.cache.stats.snapshot()
+        return {
+            f"{prefix}.plan_cache.hits": snap.hits,
+            f"{prefix}.plan_cache.misses": snap.misses,
+            f"{prefix}.plan_cache.installs": snap.installs,
+            f"{prefix}.plan_cache.evictions": snap.evictions,
+            f"{prefix}.plan_cache.bytes_saved": snap.bytes_saved,
+            f"{prefix}.plan_cache.size": snap.size,
+        }
+
+    registry.add_collector(collect_traffic)
+    registry.add_collector(collect_plan_cache)
+
+
+def bind_client(registry: MetricsRegistry, client,
+                prefix: str = "client") -> None:
+    """Publish an :class:`~repro.rmi.client.RMIClient`'s traffic and —
+    if plan reuse ever ran — its memo's strategy counters.  Multiple
+    clients bound under one prefix sum (collector semantics)."""
+    bind_traffic_stats(registry, client.stats, prefix=prefix)
+
+    def collect_memo():
+        memo = client._plan_memo  # lazily created; do not force it
+        if memo is None:
+            return {}
+        return {
+            f"{prefix}.plan.inline_flushes": memo.inline_flushes,
+            f"{prefix}.plan.invocations": memo.plan_invocations,
+            f"{prefix}.plan.installs": memo.plan_installs,
+        }
+
+    registry.add_collector(collect_memo)

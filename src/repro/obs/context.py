@@ -1,0 +1,46 @@
+"""Trace-context propagation primitives.
+
+A :class:`TraceContext` is what crosses the wire: the sending span's
+identity, carried in the three optional ``CallRequest`` fields.  Head
+sampling happens where a trace's root span is created (see
+:class:`~repro.obs.tracer.Tracer`); a request is only stamped when its
+trace sampled, so the presence of ``trace_id`` on the wire *is* the
+sampling decision — a server that receives a context always records.
+
+The ambient span is a :class:`contextvars.ContextVar`, so parenthood
+flows through both threads (each transport worker has its own context)
+and asyncio tasks (the aio client's coroutines) without any signature
+changes along the dispatch chain.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One span's wire identity: enough to parent the far side's spans."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str = ""
+
+
+#: The span currently active on this thread/task (or None).
+_current_span = contextvars.ContextVar("repro_obs_span", default=None)
+
+
+def current_span():
+    """The ambient span new spans parent under, or ``None``."""
+    return _current_span.get()
+
+
+def _activate(span):
+    """Make *span* ambient; returns the token for :func:`_deactivate`."""
+    return _current_span.set(span)
+
+
+def _deactivate(token) -> None:
+    _current_span.reset(token)

@@ -1,0 +1,208 @@
+"""Trace export/import, span-tree assembly, rendering, well-formedness.
+
+The JSON-lines format is one span dict per line (see
+:meth:`~repro.obs.tracer.Span.to_dict`): ``name``, ``trace_id``,
+``span_id``, ``parent_id``, ``start``, ``end``, ``attrs``.  Everything
+here operates on those dicts, so traces round-trip through files and
+merge across processes by simple concatenation.
+
+:func:`render_span_tree` is the span-level generalization of
+``net/trace.py``'s Figure-1 message charts; :func:`render_message_chart`
+reproduces the chart itself from ``client.send`` spans, so the paper's
+n-pairs-versus-one contrast can be drawn from a trace of any transport.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+
+
+def write_jsonl(spans, path) -> int:
+    """Write spans (Span objects or dicts) as JSON lines; returns count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for span in spans:
+            record = span if isinstance(span, dict) else span.to_dict()
+            fh.write(json.dumps(record, sort_keys=True))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path) -> list:
+    """Read a JSON-lines trace file back into span dicts."""
+    spans = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+def _as_dicts(spans) -> list:
+    return [s if isinstance(s, dict) else s.to_dict() for s in spans]
+
+
+class _Node:
+    __slots__ = ("span", "children")
+
+    def __init__(self, span):
+        self.span = span
+        self.children = []
+
+
+def build_trace_trees(spans) -> "OrderedDict":
+    """Group spans by trace and link parents: ``{trace_id: [roots]}``.
+
+    A span whose ``parent_id`` is missing from its trace (e.g. the other
+    half ran in a process whose export you don't have) becomes a root,
+    so partial traces still render.  Roots and children sort by start
+    time.
+    """
+    spans = _as_dicts(spans)
+    by_trace = OrderedDict()
+    for span in spans:
+        by_trace.setdefault(span["trace_id"], []).append(span)
+    trees = OrderedDict()
+    for trace_id, members in by_trace.items():
+        nodes = {span["span_id"]: _Node(span) for span in members}
+        roots = []
+        for span in members:
+            node = nodes[span["span_id"]]
+            parent = nodes.get(span["parent_id"]) if span["parent_id"] else None
+            if parent is None or parent is node:
+                roots.append(node)
+            else:
+                parent.children.append(node)
+        for node in nodes.values():
+            node.children.sort(key=lambda n: n.span["start"])
+        roots.sort(key=lambda n: n.span["start"])
+        trees[trace_id] = roots
+    return trees
+
+
+def check_spans(spans, require_names=()) -> list:
+    """Well-formedness problems in a span set (empty list = OK).
+
+    Checks: non-empty; unique span ids; ``end >= start``; every
+    non-empty ``parent_id`` resolves within its trace; every name in
+    *require_names* appears at least once.
+    """
+    spans = _as_dicts(spans)
+    problems = []
+    if not spans:
+        problems.append("no spans")
+        return problems
+    seen_ids = set()
+    by_trace = {}
+    for span in spans:
+        span_id = span.get("span_id")
+        if span_id in seen_ids:
+            problems.append(f"duplicate span id {span_id!r}")
+        seen_ids.add(span_id)
+        if span.get("end") is None or span["end"] < span["start"]:
+            problems.append(
+                f"span {span.get('name')!r} ({span_id}) ends before it starts"
+            )
+        by_trace.setdefault(span.get("trace_id"), set()).add(span_id)
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent and parent not in by_trace.get(span.get("trace_id"), ()):
+            problems.append(
+                f"span {span.get('name')!r} ({span.get('span_id')}) has "
+                f"unresolved parent {parent!r}"
+            )
+    names = {span.get("name") for span in spans}
+    for required in require_names:
+        if required not in names:
+            problems.append(f"required span name {required!r} never appears")
+    return problems
+
+
+def _attr_text(attrs) -> str:
+    parts = []
+    for key in sorted(attrs):
+        value = attrs[key]
+        if isinstance(value, float):
+            value = f"{value:.6g}"
+        parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def render_span_tree(spans, max_traces: int = None) -> str:
+    """ASCII span trees, one per trace, durations in milliseconds."""
+    trees = build_trace_trees(spans)
+    lines = []
+    for index, (trace_id, roots) in enumerate(trees.items()):
+        if max_traces is not None and index >= max_traces:
+            lines.append(
+                f"... {len(trees) - max_traces} more trace(s) not shown"
+            )
+            break
+        count = sum(_tree_size(root) for root in roots)
+        lines.append(f"trace {trace_id} ({count} span{'s' * (count != 1)})")
+        base = min(root.span["start"] for root in roots)
+        for root in roots:
+            _render_node(root, base, "  ", lines)
+        lines.append("")
+    return "\n".join(lines).rstrip("\n")
+
+
+def _tree_size(node) -> int:
+    return 1 + sum(_tree_size(child) for child in node.children)
+
+
+def _render_node(node, base, indent, lines) -> None:
+    span = node.span
+    start_ms = (span["start"] - base) * 1e3
+    duration_ms = (span["end"] - span["start"]) * 1e3
+    attrs = _attr_text(span.get("attrs", {}))
+    suffix = f"  {attrs}" if attrs else ""
+    lines.append(
+        f"{indent}{span['name']:<18} +{start_ms:8.3f}ms "
+        f"{duration_ms:9.3f}ms{suffix}"
+    )
+    for child in node.children:
+        _render_node(child, base, indent + "  ", lines)
+
+
+def render_message_chart(spans, client: str = "client",
+                         server_label: str = "server") -> str:
+    """The Figure-1 message chart, drawn from ``client.send`` spans.
+
+    Works on traces from any transport — this is the generalization of
+    the sim-only ``NetworkTrace`` chart to anything the tracer saw.
+    """
+    spans = [
+        s for s in _as_dicts(spans)
+        if s["name"] == "client.send" and s.get("end") is not None
+    ]
+    spans.sort(key=lambda s: s["start"])
+    width = 34
+    lines = [
+        f"{client:<12}{'':{width}}{server_label}",
+        f"{'|':<12}{'':{width}}|",
+    ]
+    base = spans[0]["start"] if spans else 0.0
+    total = 0
+    for index, span in enumerate(spans, start=1):
+        attrs = span.get("attrs", {})
+        up = attrs.get("bytes_up", "?")
+        down = attrs.get("bytes_down", "?")
+        if isinstance(up, int):
+            total += up
+        if isinstance(down, int):
+            total += down
+        stamp = f"t={(span['start'] - base) * 1e3:8.3f}ms"
+        arrow = "-" * (width - 2)
+        lines.append(f"{'|':<12}{arrow}> [{index}] {up}B {stamp}")
+        lines.append(
+            f"{'|':<11}<{arrow}- {down}B "
+            f"(+{(span['end'] - span['start']) * 1e3:.3f}ms)"
+        )
+    lines.append(
+        f"{'':12}{len(spans)} network round trip(s), {total} bytes total"
+    )
+    return "\n".join(lines)

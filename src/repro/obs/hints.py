@@ -1,0 +1,31 @@
+"""Cross-layer hand-off points between transports and the dispatch core.
+
+The transport handler contract is ``handler(bytes) -> bytes`` — there is
+nowhere in the signature to carry "this request waited 3ms for a
+worker".  A transport that knows the queue wait (the asyncio listener's
+worker pool) deposits it here, on the worker thread, immediately before
+invoking the handler; :meth:`~repro.rmi.dispatch.RMICore.handle` takes
+it (consuming it) and attaches it to the request's server span.
+
+Thread-local, set-then-take within one handler invocation on one
+thread, so values can never leak between requests.
+"""
+
+from __future__ import annotations
+
+import threading
+
+_tls = threading.local()
+
+
+def note_queue_wait(seconds: float) -> None:
+    """Deposit the admitted→started wait for the request about to run."""
+    _tls.queue_wait = seconds
+
+
+def take_queue_wait():
+    """Consume the deposited wait (``None`` when no transport deposited
+    one — the threaded and simulated transports have no queue)."""
+    wait = getattr(_tls, "queue_wait", None)
+    _tls.queue_wait = None
+    return wait

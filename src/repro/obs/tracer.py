@@ -1,0 +1,269 @@
+"""The span model and the lock-cheap per-process tracer.
+
+Design constraints, in order:
+
+- **cheap when off** — instrumented hot paths call
+  :func:`current_tracer` and bail on ``None``; no tracer, no cost
+  beyond one module-global read;
+- **lock-cheap when on** — finished spans append to a bounded
+  ``deque`` (a GIL-atomic operation), so transport threads, pool
+  workers and the event loop never contend on a tracer lock;
+- **head sampling with forced upgrades** — the sampling decision is
+  made once, where a trace's root span starts.  A *forced* span (a
+  retry attempt, a shed request, an injected fault) records even in an
+  unsampled trace and upgrades the whole live trace, so failures are
+  never invisible at any sample rate.
+
+Span timestamps come from ``time.monotonic()`` (or a virtual clock
+injected for tests): durations are exact within a process; absolute
+values are not comparable across processes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+import uuid
+from collections import deque
+
+from repro.obs.context import TraceContext, _activate, _deactivate, current_span
+
+#: Finished spans the tracer retains (oldest dropped past this).
+DEFAULT_CAPACITY = 65536
+
+#: Sentinel: "no explicit parent given — use the ambient span".
+_AMBIENT = object()
+
+
+class _TraceState:
+    """Mutable per-trace sampling flag shared by all of a trace's spans,
+    so one forced span upgrades everything recorded after it."""
+
+    __slots__ = ("sampled",)
+
+    def __init__(self, sampled: bool):
+        self.sampled = sampled
+
+
+class Span:
+    """One timed operation in a trace.
+
+    Usable as a context manager (which also makes it the ambient parent
+    for spans started within the block) or via explicit :meth:`end` for
+    spans that straddle a function boundary.
+    """
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "started_at",
+                 "ended_at", "attrs", "_tracer", "_state", "_token", "_ended")
+
+    def __init__(self, tracer, state, name, trace_id, span_id, parent_id,
+                 started_at, attrs):
+        self._tracer = tracer
+        self._state = state
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.started_at = started_at
+        self.ended_at = None
+        self.attrs = attrs
+        self._token = None
+        self._ended = False
+
+    @property
+    def sampled(self) -> bool:
+        """Whether this span's trace records (may flip via a forced span)."""
+        return self._state.sampled
+
+    def force_sample(self) -> None:
+        """Upgrade the whole live trace to sampled."""
+        self._state.sampled = True
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def context(self) -> TraceContext:
+        """This span's wire identity (what a request would carry)."""
+        return TraceContext(self.trace_id, self.span_id, self.parent_id)
+
+    def end(self, ended_at: float = None) -> None:
+        """Finish the span; records it if the trace sampled.  Idempotent."""
+        if self._ended:
+            return
+        self._ended = True
+        self.ended_at = (
+            self._tracer.now() if ended_at is None else ended_at
+        )
+        if self._state.sampled:
+            self._tracer._record(self)
+
+    @property
+    def duration(self) -> float:
+        end = self.ended_at if self.ended_at is not None else self.started_at
+        return end - self.started_at
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.started_at,
+            "end": self.ended_at,
+            "attrs": dict(self.attrs),
+        }
+
+    def __enter__(self) -> "Span":
+        self._token = _activate(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if self._token is not None:
+            _deactivate(self._token)
+            self._token = None
+        if exc is not None and "error" not in self.attrs:
+            self.attrs["error"] = repr(exc)
+        self.end()
+        return False
+
+    def __repr__(self):
+        return (f"Span({self.name!r}, trace={self.trace_id}, "
+                f"id={self.span_id}, parent={self.parent_id or None})")
+
+
+class Tracer:
+    """Per-process span recorder with head sampling.
+
+    *sample_rate* is the probability a new trace records (1.0 records
+    everything, 0.0 only forced spans).  *capacity* bounds retained
+    spans; *clock* defaults to ``time.monotonic`` and may be a virtual
+    clock in tests.  Deterministic sampling for tests: pass *seed*.
+    """
+
+    def __init__(self, sample_rate: float = 1.0,
+                 capacity: int = DEFAULT_CAPACITY,
+                 clock=time.monotonic, seed: int = None):
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1]: {sample_rate}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        import random
+
+        self.sample_rate = sample_rate
+        self._clock = clock
+        self._spans = deque(maxlen=capacity)
+        self._rng = random.Random(seed)
+        self._prefix = uuid.uuid4().hex[:10]
+        self._ids = itertools.count(1)
+
+    # -- span creation ---------------------------------------------------
+
+    def now(self) -> float:
+        """The tracer's clock (monotonic unless injected otherwise)."""
+        return self._clock()
+
+    def span(self, name: str, parent=_AMBIENT, force: bool = False,
+             started_at: float = None, **attrs) -> Span:
+        """Start a span.
+
+        *parent* may be a :class:`Span`, a :class:`TraceContext` from
+        the wire (the far side sampled, so the trace records), or
+        ``None`` to force a new root.  Left unset, the ambient span (if
+        any) is the parent.  A parentless span makes the head-sampling
+        decision for its new trace; *force* records regardless and
+        upgrades a live unsampled trace.
+        """
+        if parent is _AMBIENT:
+            parent = current_span()
+        if parent is None:
+            sampled = force or self._sample()
+            state = _TraceState(sampled)
+            trace_id = self._next_id()
+            parent_id = ""
+        elif isinstance(parent, Span):
+            state = parent._state
+            if force:
+                state.sampled = True
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        else:  # TraceContext off the wire: the sender already sampled
+            state = _TraceState(True)
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        return Span(
+            self, state, name, trace_id, self._next_id(), parent_id,
+            self.now() if started_at is None else started_at, attrs,
+        )
+
+    def record(self, name: str, started_at: float, ended_at: float,
+               parent=_AMBIENT, force: bool = False, **attrs) -> Span:
+        """Record a completed span in one shot (explicit timestamps) —
+        for events observed after the fact, like queue wait."""
+        span = self.span(name, parent=parent, force=force,
+                         started_at=started_at, **attrs)
+        span.end(ended_at)
+        return span
+
+    def _sample(self) -> bool:
+        rate = self.sample_rate
+        if rate >= 1.0:
+            return True
+        if rate <= 0.0:
+            return False
+        return self._rng.random() < rate
+
+    def _next_id(self) -> str:
+        return f"{self._prefix}-{next(self._ids):x}"
+
+    def _record(self, span: Span) -> None:
+        self._spans.append(span)
+
+    # -- reading ---------------------------------------------------------
+
+    def spans(self) -> list:
+        """Snapshot of recorded spans in completion order."""
+        return list(self._spans)
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+    def __len__(self):
+        return len(self._spans)
+
+    # -- export ----------------------------------------------------------
+
+    def export_jsonl(self, path) -> int:
+        """Write recorded spans as JSON lines; returns the span count."""
+        spans = self.spans()
+        with open(path, "w", encoding="utf-8") as fh:
+            for span in spans:
+                fh.write(json.dumps(span.to_dict(), sort_keys=True))
+                fh.write("\n")
+        return len(spans)
+
+
+#: The process-wide tracer instrumented code consults (None = tracing off).
+_installed = None
+
+
+def install_tracer(tracer: Tracer) -> Tracer:
+    """Make *tracer* the process-wide tracer; returns it for chaining."""
+    global _installed
+    if not isinstance(tracer, Tracer):
+        raise TypeError(f"expected a Tracer, got {type(tracer).__name__}")
+    _installed = tracer
+    return tracer
+
+
+def uninstall_tracer() -> None:
+    """Disable tracing (instrumented paths return to the no-op guard)."""
+    global _installed
+    _installed = None
+
+
+def current_tracer():
+    """The installed tracer, or ``None`` when tracing is off."""
+    return _installed

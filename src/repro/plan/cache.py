@@ -42,6 +42,17 @@ class PlanCacheSnapshot:
         lookups = self.hits + self.misses
         return self.hits / lookups if lookups else 0.0
 
+    def as_dict(self) -> dict:
+        """Flat JSON-friendly form, matching the metrics-bridge names."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "installs": self.installs,
+            "evictions": self.evictions,
+            "bytes_saved": self.bytes_saved,
+            "size": self.size,
+        }
+
 
 class PlanCacheStats:
     """Thread-safe hit/miss/eviction/bytes-saved counters."""

@@ -19,6 +19,7 @@ captured at install time.
 
 from __future__ import annotations
 
+from repro.obs.tracer import current_tracer
 from repro.plan.model import BatchPlan, plan_hash
 from repro.rmi.exceptions import MarshalError, PlanNotFoundError
 from repro.wire import encode
@@ -43,7 +44,9 @@ class PlanRuntime:
             )
         entry = self._cache.get(digest)
         if entry is None:
+            self._mark_plan(digest, "miss")
             raise PlanNotFoundError(digest)
+        self._mark_plan(digest, "hit")
         bound = entry.plan.bind(params)
         return self._executor.invoke_batch(
             root_obj, bound, entry.plan.policy, validated=True
@@ -67,6 +70,16 @@ class PlanRuntime:
         inline_cost = len(encode(bound))
         invoke_cost = len(encode((digest, tuple(params))))
         self._cache.install(digest, plan, inline_cost, invoke_cost)
+        self._mark_plan(digest, "install")
         return self._executor.invoke_batch(
             root_obj, bound, plan.policy, validated=True
         )
+
+    @staticmethod
+    def _mark_plan(digest: str, outcome: str) -> None:
+        """Zero-duration trace marker: how this request met the cache."""
+        tracer = current_tracer()
+        if tracer is not None:
+            now = tracer.now()
+            tracer.record("server.plan", now, now,
+                          digest=digest, outcome=outcome)

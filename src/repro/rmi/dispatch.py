@@ -27,6 +27,9 @@ import threading
 from collections import OrderedDict
 
 from repro.net.transport import Channel, host_of
+from repro.obs.context import TraceContext
+from repro.obs.hints import take_queue_wait
+from repro.obs.tracer import current_tracer
 from repro.rmi.exceptions import (
     CommunicationError,
     MarshalError,
@@ -113,12 +116,18 @@ class DedupWindow:
         with self._lock:
             return len(self._entries)
 
-    def execute(self, call_id: str, compute):
+    def execute(self, call_id: str, compute, observer=None):
         """Run ``compute() -> bytes`` at most once for *call_id*.
 
         Returns the owner's response bytes, or ``None`` when a duplicate
         timed out waiting for a still-running original (the caller turns
         that into a retryable error response).
+
+        *observer*, if given, is called with the outcome —
+        ``"executed"`` (this call owned the token), ``"replayed"`` (a
+        recorded response was served without dispatching), or
+        ``"timeout"`` — so tracing can mark replays without the window
+        growing a tracer dependency.
         """
         with self._lock:
             entry = self._entries.get(call_id)
@@ -139,13 +148,21 @@ class DedupWindow:
                     with self._lock:
                         self._entries.pop(call_id, None)
             self._evict()
+            if observer is not None:
+                observer("executed")
             return entry.response
         if not entry.ready.wait(self._wait_timeout):
+            if observer is not None:
+                observer("timeout")
             return None
         response = entry.response
         if response is not None:
             with self._lock:
                 self._hits += 1
+            if observer is not None:
+                observer("replayed")
+        elif observer is not None:
+            observer("timeout")
         return response
 
     def _evict(self):
@@ -281,11 +298,53 @@ class RMICore(MarshalContext):
             return self._encode_response(
                 CallResponse(MarshalError(f"undecodable request: {exc}"), True)
             )
+        tracer = current_tracer()
+        if tracer is None:
+            return self._handle_request(request)
+        if request.trace_id:
+            # The client sampled and stamped its context: parent the
+            # server half under it so the cross-process tree connects.
+            parent = TraceContext(
+                request.trace_id, request.span_id, request.parent_id
+            )
+            span = tracer.span("server.handle", parent=parent)
+        else:
+            span = tracer.span("server.handle")
+        span.set(method=request.method, object_id=request.object_id)
+        with span:
+            wait = take_queue_wait()
+            if wait is not None:
+                # Observed after the fact (the transport deposited it);
+                # backdate a child span covering admitted -> started.
+                span.set(queue_wait_ms=wait * 1e3)
+                tracer.record(
+                    "server.queue_wait", span.started_at - wait,
+                    span.started_at, parent=span,
+                )
+            return self._handle_request(request, tracer=tracer, span=span)
+
+    def _handle_request(self, request: CallRequest,
+                        tracer=None, span=None) -> bytes:
         if not request.call_id:
             return self._respond(request)
-        response = self._dedup.execute(
-            request.call_id, lambda: self._respond(request)
-        )
+        if tracer is None:
+            response = self._dedup.execute(
+                request.call_id, lambda: self._respond(request)
+            )
+        else:
+            outcome = []
+            response = self._dedup.execute(
+                request.call_id, lambda: self._respond(request),
+                observer=outcome.append,
+            )
+            replayed = outcome == ["replayed"]
+            now = tracer.now()
+            # Zero-duration marker; a replay is a failure artifact (the
+            # original response was lost), so it records even unsampled.
+            tracer.record(
+                "server.dedup", now, now, parent=span, force=replayed,
+                replayed=replayed, call_id=request.call_id,
+            )
         if response is None:
             # The original execution outlived the duplicate's patience.
             # CommunicationError is in the client's retryable set, so a

@@ -51,6 +51,15 @@ class CallRequest:
     most once and replays the recorded response to duplicates, turning
     at-least-once delivery into exactly-once execution.  An empty token
     (the default) opts out: the request is dispatched unconditionally.
+
+    ``trace_id``/``span_id``/``parent_id`` carry the optional trace
+    context of :mod:`repro.obs`: a client whose trace is sampled stamps
+    its send span's identity here so the server parents its own spans
+    under it.  Presence on the wire *is* the sampling decision.  The
+    triple is wire-optional — :meth:`to_wire` omits all three fields
+    when ``trace_id`` is empty, so untraced requests encode to exactly
+    the bytes they did before tracing existed (golden tests pin this),
+    and either side may run an older peer.
     """
 
     object_id: int
@@ -58,6 +67,9 @@ class CallRequest:
     args: Tuple = ()
     kwargs: Dict = field(default_factory=dict)
     call_id: str = ""
+    trace_id: str = ""
+    span_id: str = ""
+    parent_id: str = ""
 
     def __post_init__(self):
         if not isinstance(self.object_id, int) or self.object_id < 0:
@@ -67,6 +79,26 @@ class CallRequest:
         if not isinstance(self.call_id, str):
             raise ValueError(f"bad call id: {self.call_id!r}")
         object.__setattr__(self, "args", tuple(self.args))
+
+    def to_wire(self) -> Dict:
+        """Wire dict; trace fields appear only when a context is set,
+        keeping untraced requests byte-identical to the frozen format."""
+        fields = {
+            "object_id": self.object_id,
+            "method": self.method,
+            "args": self.args,
+            "kwargs": self.kwargs,
+            "call_id": self.call_id,
+        }
+        if self.trace_id:
+            fields["trace_id"] = self.trace_id
+            fields["span_id"] = self.span_id
+            fields["parent_id"] = self.parent_id
+        return fields
+
+    @classmethod
+    def from_wire(cls, fields: Dict) -> "CallRequest":
+        return cls(**fields)
 
 
 @serializable

@@ -27,6 +27,12 @@ What is retried:
 Everything else — application exceptions, plan protocol errors,
 marshalling failures — propagates immediately: retrying cannot fix a
 request that the server understood and rejected.
+
+Observability: every attempt a retrying client makes shows up in traces
+as a ``client.send`` span with an ``attempt`` attribute, and attempts
+past the first are *force-sampled* — a retry is a failure artifact, so
+it records even when the trace's head-sampling decision was "no" (see
+:mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -71,3 +77,8 @@ class RetryPolicy:
         if attempt < 0:
             raise ValueError(f"attempt cannot be negative: {attempt}")
         return min(self.backoff_s * (2 ** attempt), self.backoff_cap_s)
+
+    def total_backoff(self) -> float:
+        """Worst-case seconds spent sleeping if every attempt fails —
+        the budget a trace of a fully-exhausted retry loop spans."""
+        return sum(self.delay_after(i) for i in range(self.max_attempts - 1))

@@ -67,6 +67,17 @@ class TestExamples:
         assert "1 network round trip(s)" in result.stdout
         assert "loopback" in result.stdout
 
+    def test_trace_tour(self):
+        result = run_example("trace_tour.py")
+        assert result.returncode == 0, result.stderr
+        assert "naive RMI: three calls, three round trips" in result.stdout
+        assert "server.op" in result.stdout
+        assert "strategy=invoke" in result.stdout
+        assert "outcome=hit" in result.stdout
+        assert "round-tripped 9 through JSONL" in result.stdout
+        assert "server.runtime" not in result.stdout  # tcp server: no aio rows
+        assert "client.requests" in result.stdout
+
     @pytest.mark.parametrize("figure", ["fig05", "fig12"])
     def test_benchmark_tour_single_figure(self, figure):
         result = run_example("benchmark_tour.py", figure)

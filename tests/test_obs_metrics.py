@@ -1,0 +1,162 @@
+"""The unified metrics surface: instruments, registry, merge, exposition."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        ordered = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+        assert percentile(ordered, 0.50) == 5
+        assert percentile(ordered, 0.90) == 9
+        assert percentile(ordered, 0.99) == 10
+        assert percentile(ordered, 1.0) == 10
+
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_sample(self):
+        assert percentile([7], 0.01) == 7
+        assert percentile([7], 0.99) == 7
+
+
+class TestInstruments:
+    def test_counter_goes_up_only(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_sets_and_adds(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.add(-3)
+        assert gauge.value == 7
+
+    def test_histogram_counts_every_observation(self):
+        hist = Histogram("h", window=4)
+        for v in range(10):
+            hist.observe(v)
+        assert hist.count == 10          # lifetime
+        assert hist.total == sum(range(10))
+        assert hist.samples() == [6, 7, 8, 9]  # windowed
+
+    def test_histogram_percentiles_over_window(self):
+        hist = Histogram("h")
+        for v in (5, 1, 3, 2, 4):
+            hist.observe(v)
+        assert hist.percentiles((0.5, 1.0)) == (3, 5)
+        assert hist.percentile(0.5) == 3
+
+    def test_histogram_summary_shape(self):
+        hist = Histogram("h")
+        hist.observe(2.0)
+        summary = hist.summary()
+        assert set(summary) == {"count", "sum", "p50", "p90", "p99", "max"}
+        assert summary["count"] == 1
+        assert summary["max"] == 2.0
+
+    def test_histogram_merge_preserves_lifetime_counts(self):
+        hist = Histogram("h", window=4)
+        hist.observe(1.0)
+        # A dump whose window (2 samples) undercounts its lifetime (100).
+        hist.merge_samples([9.0, 10.0], count=100, total=950.0)
+        assert hist.count == 101
+        assert hist.total == 951.0
+        assert hist.samples() == [1.0, 9.0, 10.0]
+
+    def test_histogram_window_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(window=0)
+
+
+class TestRegistry:
+    def test_accessors_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_collectors_sum_duplicate_names(self):
+        registry = MetricsRegistry()
+        registry.add_collector(lambda: {"client.requests": 3})
+        registry.add_collector(lambda: {"client.requests": 4, "other": 1})
+        assert registry.collected() == {"client.requests": 7, "other": 1}
+
+    def test_collector_must_be_callable(self):
+        with pytest.raises(TypeError):
+            MetricsRegistry().add_collector(42)
+
+    def test_snapshot_is_flat_with_histogram_summaries(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(2)
+        registry.gauge("depth").set(5)
+        registry.histogram("latency").observe(0.25)
+        snapshot = registry.snapshot()
+        assert snapshot["hits"] == 2
+        assert snapshot["depth"] == 5
+        assert snapshot["latency"]["count"] == 1
+
+    def test_merge_sums_counters_and_gauges(self):
+        a = MetricsRegistry()
+        a.counter("n").inc(1)
+        a.gauge("g").set(10)
+        a.histogram("h").observe(1.0)
+        b = MetricsRegistry()
+        b.counter("n").inc(2)
+        b.gauge("g").set(4)
+        b.histogram("h").observe(3.0)
+        merged = MetricsRegistry.from_dict(a.to_dict()).merge(b.to_dict())
+        assert merged.counter("n").value == 3
+        assert merged.gauge("g").value == 14
+        assert merged.histogram("h").count == 2
+        assert sorted(merged.histogram("h").samples()) == [1.0, 3.0]
+
+    def test_collector_outputs_merge_as_gauges(self):
+        source = MetricsRegistry()
+        source.add_collector(lambda: {"client.requests": 9})
+        merged = MetricsRegistry.from_dict(source.to_dict())
+        assert merged.gauge("client.requests").value == 9
+
+    def test_render_text_is_sorted_and_expands_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("zebra").inc()
+        registry.histogram("alpha").observe(1.5)
+        text = registry.render_text()
+        lines = text.splitlines()
+        # Metric names sort; a histogram's suffixes keep their fixed order.
+        assert lines[0].startswith("alpha.") and lines[-1] == "zebra 1"
+        assert "alpha.count 1" in lines
+        assert "alpha.p99 1.5" in lines
+        assert "zebra 1" in lines
+
+
+class TestSharedHistogramBacksServerMetrics:
+    """Satellite check: one percentile implementation, everywhere."""
+
+    def test_server_metrics_uses_the_shared_type(self):
+        from repro.aio.metrics import MetricsRecorder
+
+        metrics = MetricsRecorder(window=8)
+        assert isinstance(metrics.service_times, Histogram)
+
+    def test_snapshot_percentiles_match_shared_math(self):
+        from repro.aio.metrics import MetricsRecorder
+
+        metrics = MetricsRecorder(window=64)
+        for ms in (1, 2, 3, 4, 5, 6, 7, 8, 9, 10):
+            metrics.on_admit()
+            metrics.on_start()
+            metrics.on_done(ms / 1000.0)
+        snapshot = metrics.snapshot()
+        assert snapshot.p50_ms == pytest.approx(5.0)
+        assert snapshot.p99_ms == pytest.approx(10.0)

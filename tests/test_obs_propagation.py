@@ -1,0 +1,188 @@
+"""End-to-end trace propagation over real transports, plus the CLI.
+
+The tentpole's acceptance shape: run a traced batched program over the
+threaded TCP transport and the pipelined asyncio transport, and get back
+one *connected* span tree per logical call — client spans and server
+spans joined by the wire context — that ``python -m repro.obs`` can
+check and render.
+"""
+
+import json
+
+import pytest
+
+from repro.core import create_batch
+from repro.net.tcp import TcpNetwork
+from repro.obs import Tracer, install_tracer, uninstall_tracer
+from repro.obs.__main__ import main as obs_main
+from repro.obs.export import build_trace_trees, check_spans, render_span_tree
+from repro.obs.metrics import MetricsRegistry
+from repro.rmi import RMIClient, RMIServer
+
+from tests.support import CounterImpl
+
+REQUIRED = (
+    "client.flush",
+    "client.call",
+    "client.encode",
+    "client.send",
+    "server.handle",
+    "server.execute",
+    "server.op",
+)
+
+
+@pytest.fixture
+def tracer():
+    installed = install_tracer(Tracer(sample_rate=1.0))
+    yield installed
+    uninstall_tracer()
+
+
+def traced_batch_run(network, tracer):
+    """One batched 3-op program against a counter server on *network*."""
+    server = RMIServer(network, "tcp://127.0.0.1:0").start()
+    server.bind("counter", CounterImpl())
+    client = RMIClient(network, server.address)
+    try:
+        stub = client.lookup("counter")
+        batch = create_batch(stub)
+        batch.increment(1)
+        batch.increment(2)
+        future = batch.current()
+        batch.flush()
+        assert future.get() == 3
+    finally:
+        client.close()
+        server.close()
+    return [span.to_dict() for span in tracer.spans()]
+
+
+def assert_connected_batch_trace(spans):
+    assert check_spans(spans, require_names=REQUIRED) == []
+    trees = build_trace_trees(spans)
+    flush_traces = [
+        trace for trace in trees.values()
+        if any(node.span["name"] == "client.flush" for node in trace)
+    ]
+    assert flush_traces, "no trace rooted at the batch flush"
+    # The flush's trace is one connected tree: a single root whose
+    # subtree reaches from the client's encode to the server's per-op
+    # execution.
+    (roots,) = flush_traces
+
+    def names(nodes):
+        out = set()
+        for node in nodes:
+            out.add(node.span["name"])
+            out |= names(node.children)
+        return out
+
+    assert len(roots) == 1
+    assert set(REQUIRED) <= names(roots)
+
+
+class TestTcpPropagation:
+    def test_batch_trace_is_one_connected_tree(self, tracer):
+        network = TcpNetwork()
+        try:
+            spans = traced_batch_run(network, tracer)
+        finally:
+            network.close()
+        assert_connected_batch_trace(spans)
+
+    def test_sampling_off_records_nothing_on_clean_runs(self):
+        quiet = install_tracer(Tracer(sample_rate=0.0))
+        try:
+            network = TcpNetwork()
+            try:
+                spans = traced_batch_run(network, quiet)
+            finally:
+                network.close()
+        finally:
+            uninstall_tracer()
+        assert spans == []  # nothing forced happened, nothing recorded
+
+
+class TestAioPropagation:
+    def test_batch_trace_is_one_connected_tree(self, tracer):
+        from repro.aio import AioNetwork
+
+        network = AioNetwork()
+        try:
+            spans = traced_batch_run(network, tracer)
+        finally:
+            network.close()
+        assert_connected_batch_trace(spans)
+
+
+class TestRenderer:
+    def test_tree_renders_names_and_timings(self, tracer):
+        network = TcpNetwork()
+        try:
+            spans = traced_batch_run(network, tracer)
+        finally:
+            network.close()
+        text = render_span_tree(spans)
+        assert "client.flush" in text
+        assert "server.op" in text
+        assert "ms" in text
+
+
+class TestObsCli:
+    def _trace_file(self, tracer, tmp_path):
+        network = TcpNetwork()
+        try:
+            traced_batch_run(network, tracer)
+        finally:
+            network.close()
+        path = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(path)
+        return str(path)
+
+    def test_check_accepts_a_good_trace(self, tracer, tmp_path, capsys):
+        path = self._trace_file(tracer, tmp_path)
+        code = obs_main(
+            ["check", path]
+            + [arg for name in REQUIRED for arg in ("--require-span", name)]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.startswith("OK:")
+
+    def test_check_rejects_missing_required_span(self, tracer, tmp_path,
+                                                 capsys):
+        path = self._trace_file(tracer, tmp_path)
+        code = obs_main(["check", path, "--require-span", "no.such.span"])
+        assert code == 1
+        assert "no.such.span" in capsys.readouterr().err
+
+    def test_check_rejects_orphan_parents(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({
+            "name": "orphan", "trace_id": "t", "span_id": "s",
+            "parent_id": "missing", "start": 0.0, "end": 1.0, "attrs": {},
+        }) + "\n")
+        code = obs_main(["check", str(path)])
+        assert code == 1
+
+    def test_render_prints_the_tree(self, tracer, tmp_path, capsys):
+        path = self._trace_file(tracer, tmp_path)
+        assert obs_main(["render", path, "--max-traces", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "trace " in out
+
+    def test_render_chart_draws_round_trips(self, tracer, tmp_path, capsys):
+        path = self._trace_file(tracer, tmp_path)
+        assert obs_main(["render", path, "--chart"]) == 0
+        assert "round trip" in capsys.readouterr().out
+
+    def test_metrics_merges_dumps(self, tmp_path, capsys):
+        a = MetricsRegistry()
+        a.counter("requests").inc(3)
+        b = MetricsRegistry()
+        b.counter("requests").inc(4)
+        pa, pb = tmp_path / "a.json", tmp_path / "b.json"
+        pa.write_text(json.dumps(a.to_dict()))
+        pb.write_text(json.dumps(b.to_dict()))
+        assert obs_main(["metrics", str(pa), str(pb)]) == 0
+        assert "requests 7" in capsys.readouterr().out

@@ -8,6 +8,7 @@ a wire-format break, not an optimization.
 
 import pytest
 
+from repro.rmi.protocol import CallRequest, CallResponse
 from repro.wire import decode, encode, encode_framed, frame
 from repro.wire.plans import ParamSlot
 from repro.wire.refs import RemoteRef
@@ -52,6 +53,41 @@ GOLDEN = {
 #: frame(encode([1, "x"])) from the seed codec.
 GOLDEN_FRAMED = "000000144c00000002490000000000000001530000000178"
 
+#: CallRequest(7, 'work', (1, 'x'), {'k': 2.5}, 'tok:1') — captured
+#: BEFORE the optional trace-context fields existed.  An untraced
+#: request must keep producing these exact bytes.
+GOLDEN_REQUEST = (
+    "4f530000001e726570726f2e726d692e70726f746f636f6c2e43616c6c52657175"
+    "6573744d0000000553000000096f626a6563745f6964490000000000000007"
+    "53000000066d6574686f645300000004776f726b53000000046172677355000000"
+    "0249000000000000000153000000017853000000066b77617267734d0000000153"
+    "000000016b444004000000000000530000000763616c6c5f69645300000005746f"
+    "6b3a31"
+)
+
+#: Same request without a call_id (identical prefix, empty token).
+GOLDEN_REQUEST_NO_CALL_ID = (
+    GOLDEN_REQUEST[: -len("5300000005746f6b3a31")] + "5300000000"
+)
+
+#: Same request stamped with trace context ('t-1', 's-2', 's-1'): the
+#: untraced bytes with the dict header bumped 5 -> 8 fields and the
+#: three trace fields appended.
+GOLDEN_REQUEST_TRACED = GOLDEN_REQUEST.replace(
+    "4d00000005", "4d00000008", 1
+) + (
+    "530000000874726163655f69645300000003742d31"
+    "53000000077370616e5f69645300000003732d32"
+    "5300000009706172656e745f69645300000003732d31"
+)
+
+#: CallResponse('ok', False) from the seed codec.
+GOLDEN_RESPONSE = (
+    "4f530000001f726570726f2e726d692e70726f746f636f6c2e43616c6c52657370"
+    "6f6e73654d00000002530000000576616c756553000000026f6b53000000086973"
+    "5f6572726f7246"
+)
+
 
 class TestGoldenBytes:
     @pytest.mark.parametrize("name", sorted(GOLDEN))
@@ -77,6 +113,40 @@ class TestGoldenBytes:
     def test_framed_golden(self):
         assert frame(encode([1, "x"])).hex() == GOLDEN_FRAMED
         assert encode_framed([1, "x"]).hex() == GOLDEN_FRAMED
+
+
+class TestProtocolGoldenBytes:
+    """The RMI messages themselves are pinned: adding the optional trace
+    context must not move a single byte of an untraced request."""
+
+    REQUEST = CallRequest(7, "work", (1, "x"), {"k": 2.5}, "tok:1")
+
+    def test_untraced_request_bytes_are_frozen(self):
+        assert encode(self.REQUEST).hex() == GOLDEN_REQUEST
+
+    def test_untraced_request_without_call_id(self):
+        request = CallRequest(7, "work", (1, "x"), {"k": 2.5})
+        assert encode(request).hex() == GOLDEN_REQUEST_NO_CALL_ID
+
+    def test_pre_trace_bytes_decode_with_default_context(self):
+        decoded = decode(bytes.fromhex(GOLDEN_REQUEST))
+        assert decoded == self.REQUEST
+        assert decoded.trace_id == ""
+        assert decoded.span_id == ""
+        assert decoded.parent_id == ""
+
+    def test_traced_request_golden(self):
+        traced = CallRequest(
+            7, "work", (1, "x"), {"k": 2.5}, "tok:1",
+            trace_id="t-1", span_id="s-2", parent_id="s-1",
+        )
+        assert encode(traced).hex() == GOLDEN_REQUEST_TRACED
+        assert decode(bytes.fromhex(GOLDEN_REQUEST_TRACED)) == traced
+
+    def test_response_bytes_are_frozen(self):
+        response = CallResponse("ok", False)
+        assert encode(response).hex() == GOLDEN_RESPONSE
+        assert decode(bytes.fromhex(GOLDEN_RESPONSE)) == response
 
 
 class TestRemoteRefSubclasses:
