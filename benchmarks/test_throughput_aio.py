@@ -39,6 +39,7 @@ import pytest
 
 from repro.aio import AioNetwork, run_load
 from repro.net import TcpNetwork
+from repro.net.tcp import HAS_REUSEPORT
 
 RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_throughput.json"
 
@@ -61,6 +62,34 @@ SCALES = {
     "smoke": dict(clients=8, streams=4, delay=0.1, duration=1.0,
                   warmup=0.5, workers=48, queue_depth=128, min_speedup=None),
 }
+
+# The process-sharding lane: N reuseport workers vs one, *same pool size
+# per process*, so the ratio isolates what sharding adds.  The workload
+# is delay-bound, so capacity per process is workers/delay and the
+# client drives enough streams to saturate every shard — which is what
+# makes the bar meaningful on a single-core container too.
+PROC_SCALES = {
+    "full": dict(procs=4, clients=64, streams=6, delay=0.2, duration=2.5,
+                 warmup=1.0, workers=64, queue_depth=512, min_scaling=3.0),
+    "smoke": dict(procs=2, clients=16, streams=4, delay=0.1, duration=1.0,
+                  warmup=0.5, workers=24, queue_depth=128, min_scaling=None),
+}
+
+#: Fraction of client-observed requests the merged per-pid server dumps
+#: must account for (the metrics-accounting acceptance bar).
+MIN_ACCOUNTING = 0.99
+
+
+def _record_results(update: dict) -> None:
+    """Read-modify-write BENCH_throughput.json: each lane updates its
+    own keys, so the pipelining lane (top level, which
+    ``test_obs_overhead`` reads) and the ``procs_scaling`` lane never
+    clobber each other."""
+    data = {}
+    if RESULTS_PATH.exists():
+        data = json.loads(RESULTS_PATH.read_text())
+    data.update(update)
+    RESULTS_PATH.write_text(json.dumps(data, indent=2) + "\n")
 
 
 def _scale() -> str:
@@ -135,7 +164,7 @@ class TestThroughput:
             "aio_pipelined": pipelined.as_dict(),
             "speedup": round(speedup, 2),
         }
-        RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        _record_results(payload)
         print()
         print(
             f"[{scale}] thread-per-connection {baseline.throughput:7.1f} "
@@ -153,5 +182,112 @@ class TestThroughput:
             assert speedup >= cfg["min_speedup"], (
                 f"aio runtime sustained only {speedup:.2f}x the "
                 f"thread-per-connection baseline (need {cfg['min_speedup']}x): "
+                f"{payload}"
+            )
+
+
+def _procs_scale() -> str:
+    name = os.environ.get("BENCH_THROUGHPUT_SCALE", "full")
+    if name not in PROC_SCALES:
+        raise ValueError(f"unknown BENCH_THROUGHPUT_SCALE {name!r}")
+    return name
+
+
+def _measure_procs(procs: int, cfg: dict):
+    """One aio load run against *procs* supervised reuseport workers.
+
+    Returns ``(report, client_requests, merged_snapshot)`` where the
+    request counts feed the metrics-accounting bar: everything the
+    clients saw complete must reappear in the merged per-pid dumps.
+    """
+    from repro.aio import Supervisor
+    from repro.obs.metrics import MetricsRegistry
+
+    supervisor = Supervisor(
+        procs=procs, workers=cfg["workers"], queue_depth=cfg["queue_depth"],
+    ).start()
+    registry = MetricsRegistry()
+    network = AioNetwork()
+    try:
+        report = run_load(
+            network, supervisor.address,
+            clients=cfg["clients"], streams=cfg["streams"],
+            duration=cfg["duration"], delay=cfg["delay"],
+            warmup=cfg["warmup"], registry=registry,
+        )
+    finally:
+        network.close()
+        merged = supervisor.stop()
+    client_requests = registry.snapshot().get("client.requests", 0)
+    return report, client_requests, merged.snapshot()
+
+
+class TestProcsScaling:
+    @pytest.mark.skipif(not HAS_REUSEPORT,
+                        reason="platform has no SO_REUSEPORT")
+    def test_reuseport_shards_scale_aio_throughput(self, results_dir):
+        scale = _procs_scale()
+        cfg = PROC_SCALES[scale]
+
+        single, single_client_reqs, single_merged = _measure_procs(1, cfg)
+        multi, multi_client_reqs, multi_merged = _measure_procs(
+            cfg["procs"], cfg
+        )
+
+        scaling = (
+            multi.throughput / single.throughput
+            if single.throughput else float("inf")
+        )
+        single_accounted = (
+            single_merged.get("server.requests", 0) / single_client_reqs
+            if single_client_reqs else 0.0
+        )
+        multi_accounted = (
+            multi_merged.get("server.requests", 0) / multi_client_reqs
+            if multi_client_reqs else 0.0
+        )
+        payload = {
+            "benchmark": "reuseport process shards (aio, localhost)",
+            "scale": scale,
+            "config": {
+                "procs": cfg["procs"],
+                "clients": cfg["clients"],
+                "streams_per_client": cfg["streams"],
+                "service_delay_s": cfg["delay"],
+                "window_s": cfg["duration"],
+                "workers_per_proc": cfg["workers"],
+                "queue_depth_per_proc": cfg["queue_depth"],
+            },
+            "single_proc": dict(single.as_dict(), procs=1),
+            "multi_proc": dict(multi.as_dict(), procs=cfg["procs"]),
+            "scaling": round(scaling, 2),
+            "metrics_accounted": round(multi_accounted, 4),
+        }
+        _record_results({"procs_scaling": payload})
+        print()
+        print(
+            f"[{scale}] 1 proc {single.throughput:7.1f} batches/s | "
+            f"{cfg['procs']} procs {multi.throughput:7.1f} batches/s | "
+            f"scaling {scaling:.2f}x | merged-metrics accounting "
+            f"{multi_accounted:.2%}"
+        )
+
+        for report in (single, multi):
+            assert report.batches > 0
+            assert report.errors == ()
+        # The merged per-pid dumps must account for (at least) every
+        # request the clients observed completing — on both lanes, so a
+        # broken merge can't hide behind the single-proc baseline.
+        assert single_accounted >= MIN_ACCOUNTING
+        assert multi_accounted >= MIN_ACCOUNTING
+        # Every shard reported in: one up-gauge per worker pid.
+        up = [name for name in multi_merged
+              if name.startswith("proc.") and name.endswith(".up")]
+        assert len(up) == cfg["procs"]
+        assert multi_merged.get("procs.up") == cfg["procs"]
+        if cfg["min_scaling"] is not None:
+            assert scaling >= cfg["min_scaling"], (
+                f"{cfg['procs']} reuseport workers sustained only "
+                f"{scaling:.2f}x one process (need {cfg['min_scaling']}x): "
                 f"{payload}"
             )

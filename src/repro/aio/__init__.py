@@ -16,6 +16,9 @@ Entry points:
   batch code.
 - :mod:`repro.aio.loadgen` / ``python -m repro.aio`` — the multi-client
   load harness behind ``benchmarks/test_throughput_aio.py``.
+- :class:`Supervisor` / ``python -m repro.aio serve --procs N`` —
+  multi-core serving: N worker processes sharing one listening port via
+  ``SO_REUSEPORT``, with per-pid metrics merged into one report.
 """
 
 from repro.aio.channel import AioChannel, AioConnection
@@ -37,6 +40,7 @@ from repro.aio.loadgen import (
 from repro.aio.metrics import MetricsRecorder, ServerMetrics
 from repro.aio.network import AioNetwork
 from repro.aio.runtime import EventLoopThread
+from repro.aio.supervisor import Supervisor, SupervisorError
 
 __all__ = [
     "AioChannel",
@@ -56,6 +60,8 @@ __all__ = [
     "MetricsRecorder",
     "SERVICE_NAME",
     "ServerMetrics",
+    "Supervisor",
+    "SupervisorError",
     "pack_envelope",
     "run_load",
     "split_envelope",

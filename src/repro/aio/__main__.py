@@ -8,8 +8,16 @@ share a GIL:
     python -m repro.aio serve --transport aio --workers 64 --queue-depth 256
 
   The first stdout line is ``ADDRESS <tcp://...>``; the process serves
-  until stdin reaches EOF (close the pipe to stop it), then prints a
+  until stdin reaches EOF **or a SIGTERM/SIGINT arrives** — either way
+  it drains gracefully (in-flight requests finish) before printing a
   final ``METRICS <snapshot>`` line for the aio transport.
+
+  ``--procs N`` (N > 1) switches to multi-core serving: a supervisor
+  spawns N worker processes sharing the port via ``SO_REUSEPORT`` (one
+  ``PROCS`` line reports the effective mode — platforms without the
+  option fall back to a single acceptor).  On shutdown the supervisor
+  forwards SIGTERM to the workers, reaps them, and merges their per-pid
+  metrics dumps into ``--metrics-json``.
 
 ``load`` — drive an address with the multi-client harness::
 
@@ -19,20 +27,27 @@ share a GIL:
   Prints one JSON object (a :class:`~repro.aio.loadgen.LoadReport`).
   Omitting ``--address`` stands up an in-process server (same transport)
   for the run — handy for single-command smoke runs and for producing a
-  *connected* client+server trace.
+  *connected* client+server trace.  ``--procs N`` stands up a
+  supervised N-process reuseport server instead and folds its merged
+  server metrics into ``--metrics-json`` next to the client's.
 
 Observability (both subcommands): ``--trace FILE`` installs a tracer and
 exports every recorded span to *FILE* as JSON lines when the run ends
 (``--trace-sample`` sets the head-sampling rate); ``--metrics-json
-FILE`` dumps a mergeable metrics-registry snapshot.  Inspect either with
-``python -m repro.obs``.
+FILE`` dumps a mergeable metrics-registry snapshot (a literal ``{pid}``
+in *FILE* is replaced with the process id — how supervised workers get
+per-pid files).  Inspect either with ``python -m repro.obs``.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
+import os
+import signal
 import sys
+import threading
 
 from repro.aio.loadgen import SERVICE_NAME, LoadTargetImpl, run_load
 from repro.aio.network import AioNetwork
@@ -41,12 +56,14 @@ from repro.rmi import RMIServer
 
 
 def _network(kind: str, args) -> object:
+    reuse_port = getattr(args, "reuseport", False)
     if kind == "aio":
         return AioNetwork(
-            max_workers=args.workers, queue_depth=args.queue_depth
+            max_workers=args.workers, queue_depth=args.queue_depth,
+            reuse_port=reuse_port,
         )
     if kind == "tcp":
-        return TcpNetwork()
+        return TcpNetwork(reuse_port=reuse_port)
     raise SystemExit(f"unknown transport {kind!r}; want aio or tcp")
 
 
@@ -69,12 +86,20 @@ def _finish_tracing(tracer, args) -> None:
     print(f"TRACE {args.trace} {count} spans", flush=True)
 
 
+def _metrics_path(args) -> str:
+    """The ``--metrics-json`` path with ``{pid}`` resolved (or None)."""
+    if not args.metrics_json:
+        return None
+    return args.metrics_json.replace("{pid}", str(os.getpid()))
+
+
 def _dump_metrics(registry, args) -> None:
-    if registry is None or not args.metrics_json:
+    path = _metrics_path(args)
+    if registry is None or path is None:
         return
-    with open(args.metrics_json, "w", encoding="utf-8") as fh:
+    with open(path, "w", encoding="utf-8") as fh:
         json.dump(registry.to_dict(), fh, sort_keys=True)
-    print(f"METRICS_JSON {args.metrics_json}", flush=True)
+    print(f"METRICS_JSON {path}", flush=True)
 
 
 def _registry_for(args):
@@ -85,25 +110,110 @@ def _registry_for(args):
     return MetricsRegistry()
 
 
+def _install_shutdown_signals(stop_event: threading.Event) -> None:
+    """Route SIGTERM/SIGINT into a graceful drain.
+
+    Without this, a TERM kills the event loop mid-request; with it, the
+    serve loop wakes, calls the server's draining ``stop()``, and dumps
+    its metrics before exiting.  Best-effort: off the main thread (or on
+    platforms without the signal) the stdin-EOF path still works.
+    """
+
+    def request_stop(signum, frame):
+        stop_event.set()
+
+    for name in ("SIGTERM", "SIGINT"):
+        signum = getattr(signal, name, None)
+        if signum is None:
+            continue
+        try:
+            signal.signal(signum, request_stop)
+        except (ValueError, OSError):
+            pass  # not the main thread / unsupported platform
+
+
+def _watch_stdin(stop_event: threading.Event) -> None:
+    """Set *stop_event* when stdin reaches EOF (the legacy stop path)."""
+
+    def drain():
+        try:
+            sys.stdin.read()
+        except Exception:  # noqa: BLE001 - any stdin failure means "stop"
+            pass
+        stop_event.set()
+
+    threading.Thread(target=drain, name="serve-stdin-eof",
+                     daemon=True).start()
+
+
+def _wait(stop_event: threading.Event, alive=None) -> bool:
+    """Block until a stop is requested; False if *alive* failed first."""
+    while not stop_event.wait(0.2):
+        if alive is not None and not alive():
+            return False
+    return True
+
+
 def _serve(args) -> int:
+    if args.procs > 1:
+        return _serve_procs(args)
     tracer = _tracer_for(args)
     registry = _registry_for(args)
     network = _network(args.transport, args)
     server = RMIServer(network, f"tcp://127.0.0.1:{args.port}").start()
     server.bind(SERVICE_NAME, LoadTargetImpl())
     if registry is not None:
-        from repro.obs.bridge import bind_server
+        from repro.obs.bridge import bind_process, bind_server
 
         bind_server(registry, server)
+        bind_process(registry)
+    stop_event = threading.Event()
+    _install_shutdown_signals(stop_event)
+    _watch_stdin(stop_event)
     print(f"ADDRESS {server.address}", flush=True)
-    sys.stdin.read()  # serve until the parent closes our stdin
-    metrics = server.metrics
-    _dump_metrics(registry, args)
+    _wait(stop_event)
+    # Graceful drain first, books second: the final metrics dump must
+    # account for every request the drain let finish.
     server.stop()
+    metrics = server.metrics
     network.close()
+    _dump_metrics(registry, args)
     if metrics is not None:
         print(f"METRICS {metrics}", flush=True)
     _finish_tracing(tracer, args)
+    return 0
+
+
+def _serve_procs(args) -> int:
+    if args.trace:
+        raise SystemExit(
+            "--trace is per-process; with --procs run workers directly "
+            "(serve --reuseport --port N --trace FILE) to trace one"
+        )
+    from repro.aio.supervisor import Supervisor
+
+    supervisor = Supervisor(
+        procs=args.procs, transport=args.transport, port=args.port,
+        workers=args.workers, queue_depth=args.queue_depth,
+        metrics_dir=args.procs_metrics_dir or None,
+    ).start()
+    stop_event = threading.Event()
+    _install_shutdown_signals(stop_event)
+    _watch_stdin(stop_event)
+    print(f"ADDRESS {supervisor.address}", flush=True)
+    mode = "reuseport" if supervisor.reuseport else "single-acceptor"
+    pids = ",".join(str(pid) for pid in supervisor.pids)
+    print(f"PROCS {supervisor.procs} mode={mode} pids={pids}", flush=True)
+    clean = _wait(stop_event, alive=supervisor.alive)
+    merged = supervisor.stop()
+    path = _metrics_path(args)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(merged.to_dict(), fh, sort_keys=True)
+        print(f"METRICS_JSON {path}", flush=True)
+    if not clean:
+        print("WORKER_DIED", flush=True)
+        return 1
     return 0
 
 
@@ -112,8 +222,17 @@ def _load(args) -> int:
     registry = _registry_for(args)
     network = _network(args.transport, args)
     server = None
+    supervisor = None
     address = args.address
-    if address is None:
+    if address is None and args.procs > 1:
+        from repro.aio.supervisor import Supervisor
+
+        supervisor = Supervisor(
+            procs=args.procs, transport=args.transport,
+            workers=args.workers, queue_depth=args.queue_depth,
+        ).start()
+        address = supervisor.address
+    elif address is None:
         # In-process server: one command, one process, one connected
         # trace covering both halves of every exchange.
         server = RMIServer(network, "tcp://127.0.0.1:0").start()
@@ -129,6 +248,13 @@ def _load(args) -> int:
         duration=args.duration, delay=args.delay, warmup=args.warmup,
         registry=registry,
     )
+    if supervisor is not None:
+        report = dataclasses.replace(report, procs=supervisor.procs)
+        merged = supervisor.stop()
+        if registry is not None:
+            # One dump covering both sides: the supervisor's merged
+            # server-side registries fold into the client's.
+            registry.merge(merged.to_dict())
     _dump_metrics(registry, args)
     if server is not None:
         server.stop()
@@ -144,7 +270,8 @@ def _add_obs_flags(subparser) -> None:
     subparser.add_argument("--trace-sample", type=float, default=1.0,
                            help="head-sampling rate in [0, 1] (default 1)")
     subparser.add_argument("--metrics-json", default=None, metavar="FILE",
-                           help="dump a mergeable metrics registry to FILE")
+                           help="dump a mergeable metrics registry to FILE "
+                                "({pid} in FILE expands to the process id)")
 
 
 def main(argv=None) -> int:
@@ -159,6 +286,15 @@ def main(argv=None) -> int:
     serve.add_argument("--port", type=int, default=0)
     serve.add_argument("--workers", type=int, default=64)
     serve.add_argument("--queue-depth", type=int, default=256)
+    serve.add_argument("--procs", type=int, default=1,
+                       help="worker processes sharing the port via "
+                            "SO_REUSEPORT (default 1: serve in-process)")
+    serve.add_argument("--reuseport", action="store_true",
+                       help="join the port's reuseport listener group "
+                            "(what supervised workers do)")
+    serve.add_argument("--procs-metrics-dir", default=None, metavar="DIR",
+                       help="keep per-pid worker metrics dumps in DIR "
+                            "(default: a temp dir removed after the merge)")
     _add_obs_flags(serve)
     serve.set_defaults(func=_serve)
 
@@ -170,6 +306,9 @@ def main(argv=None) -> int:
                       help="(aio) pool size for the in-process server")
     load.add_argument("--queue-depth", type=int, default=256,
                       help="(aio) queue depth for the in-process server")
+    load.add_argument("--procs", type=int, default=1,
+                      help="with no --address: serve from this many "
+                           "supervised reuseport worker processes")
     load.add_argument("--clients", type=int, default=8)
     load.add_argument("--streams", type=int, default=4)
     load.add_argument("--duration", type=float, default=2.0)

@@ -66,7 +66,8 @@ class AioListener(Listener):
     def __init__(self, loop_thread, address: str, handler, *,
                  max_workers: int = DEFAULT_MAX_WORKERS,
                  queue_depth: int = DEFAULT_QUEUE_DEPTH,
-                 drain_timeout: float = DEFAULT_DRAIN_TIMEOUT):
+                 drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+                 reuse_port: bool = False):
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1: {max_workers}")
         if queue_depth < 0:
@@ -92,8 +93,14 @@ class AioListener(Listener):
             CallResponse(ServerBusyError(self._capacity), True)
         )
         try:
+            # reuse_port joins the port's kernel listener group so N
+            # worker processes (or N listeners) share one address — the
+            # multi-core serving model; see repro.aio.supervisor.
             self._server = loop_thread.run(
-                asyncio.start_server(self._on_connection, host, port)
+                asyncio.start_server(
+                    self._on_connection, host, port,
+                    reuse_port=reuse_port or None,
+                )
             )
         except Exception:
             self._pool.shutdown(wait=False)

@@ -74,6 +74,7 @@ class LoadReport:
     delay: float
     shed_retries: int     #: ServerBusyError retries absorbed by clients
     errors: tuple = ()    #: stream-killing failures (repr strings)
+    procs: int = 1        #: server worker processes behind the address
 
     @property
     def throughput(self) -> float:
@@ -90,6 +91,7 @@ class LoadReport:
             "delay_s": self.delay,
             "shed_retries": self.shed_retries,
             "errors": list(self.errors),
+            "procs": self.procs,
         }
 
 

@@ -50,12 +50,14 @@ class AioNetwork(Network):
     def __init__(self, *, max_workers: int = DEFAULT_MAX_WORKERS,
                  queue_depth: int = DEFAULT_QUEUE_DEPTH,
                  drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
-                 request_timeout: float = None, trace=None):
+                 request_timeout: float = None, trace=None,
+                 reuse_port: bool = False):
         self._max_workers = max_workers
         self._queue_depth = queue_depth
         self._drain_timeout = drain_timeout
         self._request_timeout = request_timeout
         self._trace = trace
+        self._reuse_port = reuse_port
         self._lock = threading.Lock()
         self._loop_thread = None
         self._listeners = []
@@ -78,6 +80,7 @@ class AioNetwork(Network):
             max_workers=self._max_workers,
             queue_depth=self._queue_depth,
             drain_timeout=self._drain_timeout,
+            reuse_port=self._reuse_port,
         )
         with self._lock:
             self._listeners.append(listener)

@@ -1,0 +1,276 @@
+"""Multi-core serving: N worker processes sharing one port via SO_REUSEPORT.
+
+One Python process — however pipelined — tops out at one core: the
+benchmarks are delay/GIL-bound on a single event loop.  The
+:class:`Supervisor` forks the serving plane across processes instead:
+
+- it **reserves a port** with a bound-but-not-listening ``SO_REUSEPORT``
+  placeholder socket (a non-listening member of a reuseport group never
+  receives SYNs, so it holds the port against unrelated binders without
+  stealing connections);
+- it **spawns N workers**, each an ordinary ``python -m repro.aio serve``
+  process running the unchanged aio runtime (worker pool, admission
+  control, plan cache, dedup window) that joins the listener group with
+  ``--reuseport``; the kernel load-balances incoming *connections*
+  across the group;
+- on :meth:`stop` (or a forwarded SIGTERM) it **drains** the workers
+  gracefully — each finishes its in-flight requests, dumps its
+  per-process :class:`~repro.obs.metrics.MetricsRegistry` to a per-pid
+  JSON file, and exits — then reaps them and **merges** the per-pid
+  dumps through the registry's cross-process merge semantics into one
+  report.
+
+**Sharding semantics.**  Workers share nothing but the port.  Each has
+its own plan cache and its own dedup window, scoped per process: a
+``call_id`` retry that reconnects and lands on a *different* shard will
+not find the token recorded there and re-executes.  That is safe — the
+request is idempotency-tokened and exactly-once still holds *per
+worker* — but callers must not assume global exactly-once across
+shards (see DESIGN.md, and ``tests/test_chaos_procs.py`` which pins
+the tolerated behavior).  Plan installs likewise repeat per shard: a
+plan that is hot on one worker is a cache miss on another until that
+worker sees its install.
+
+**Platform fallback.**  Where ``SO_REUSEPORT`` does not exist (exotic
+platforms; see :data:`repro.net.tcp.HAS_REUSEPORT`) the supervisor
+degrades to a documented *single-acceptor* mode: one worker owns the
+listening socket outright and ``procs`` is forced to 1, keeping the CLI
+and metrics plumbing identical so callers need no platform branches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+
+from repro.aio.listener import DEFAULT_MAX_WORKERS, DEFAULT_QUEUE_DEPTH
+from repro.net.tcp import HAS_REUSEPORT, reserve_reuseport
+
+#: Seconds stop() gives each worker to drain before escalating to kill.
+DEFAULT_STOP_TIMEOUT = 30.0
+
+#: Seconds start() waits for each worker to report its address.
+DEFAULT_START_TIMEOUT = 30.0
+
+
+class SupervisorError(RuntimeError):
+    """A worker failed to start, or died while being supervised."""
+
+
+class Supervisor:
+    """Spawn and manage a reuseport group of serve-worker processes.
+
+    Parameters mirror ``python -m repro.aio serve``: *transport*,
+    *workers* (pool size **per process**), *queue_depth* (per process).
+    *procs* is the requested shard count; :attr:`procs` reports the
+    effective one (1 in single-acceptor fallback).  *metrics_dir* is
+    where per-pid registry dumps land (a temp dir by default, removed
+    after the merge); *host*/*port* pick the shared address (port 0
+    reserves an ephemeral one).  *force_single_acceptor* opts into the
+    no-reuseport fallback even where the option exists (tests).
+    """
+
+    def __init__(self, *, procs: int, transport: str = "aio",
+                 host: str = "127.0.0.1", port: int = 0,
+                 workers: int = DEFAULT_MAX_WORKERS,
+                 queue_depth: int = DEFAULT_QUEUE_DEPTH,
+                 metrics_dir=None, start_timeout: float = DEFAULT_START_TIMEOUT,
+                 force_single_acceptor: bool = False):
+        if procs < 1:
+            raise ValueError(f"procs must be >= 1: {procs}")
+        self._requested_procs = procs
+        self._transport = transport
+        self._host = host
+        self._port = port
+        self._workers = workers
+        self._queue_depth = queue_depth
+        self._start_timeout = start_timeout
+        self._reuseport = HAS_REUSEPORT and not force_single_acceptor
+        self._procs = procs if self._reuseport else 1
+        self._metrics_dir = metrics_dir
+        self._own_metrics_dir = metrics_dir is None
+        self._placeholder = None
+        self._children = []
+        self._address = None
+        self._merged = None
+        self._lock = threading.Lock()
+        self._stopped = False
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        """The shared ``tcp://host:port`` address (after :meth:`start`)."""
+        if self._address is None:
+            raise RuntimeError("supervisor is not started")
+        return self._address
+
+    @property
+    def procs(self) -> int:
+        """Effective worker count (1 in single-acceptor fallback)."""
+        return self._procs
+
+    @property
+    def reuseport(self) -> bool:
+        """Whether the group actually shards the port across processes."""
+        return self._reuseport
+
+    @property
+    def pids(self) -> tuple:
+        return tuple(child.pid for child in self._children)
+
+    def alive(self) -> bool:
+        """True while every worker is still running."""
+        return bool(self._children) and all(
+            child.poll() is None for child in self._children
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "Supervisor":
+        """Reserve the port, spawn the workers, wait for them to listen."""
+        if self._children:
+            raise RuntimeError("supervisor already started")
+        port = self._port
+        if self._reuseport:
+            # The placeholder stays bound (not listening) for the whole
+            # run: it pins the port for late (re)joiners without ever
+            # receiving a connection itself.
+            self._placeholder, port = reserve_reuseport(self._host, port)
+        if self._metrics_dir is None:
+            self._metrics_dir = tempfile.mkdtemp(prefix="repro-procs-")
+        self._metrics_dir = str(self._metrics_dir)
+        try:
+            for index in range(self._procs):
+                self._children.append(self._spawn(port, index))
+            addresses = [self._read_address(child)
+                         for child in self._children]
+        except Exception:
+            self._kill_all()
+            self._release()
+            raise
+        # In fallback mode (or port 0 without reuseport) the single
+        # worker resolved the real port; adopt whatever it bound.
+        self._address = addresses[0]
+        return self
+
+    def _spawn(self, port: int, index: int) -> subprocess.Popen:
+        metrics_template = os.path.join(
+            self._metrics_dir, "metrics-{pid}.json"
+        )
+        cmd = [
+            sys.executable, "-m", "repro.aio", "serve",
+            "--transport", self._transport,
+            "--port", str(port),
+            "--workers", str(self._workers),
+            "--queue-depth", str(self._queue_depth),
+            "--metrics-json", metrics_template,
+        ]
+        if self._reuseport:
+            cmd.append("--reuseport")
+        env = dict(os.environ)
+        src = str(pathlib.Path(__file__).resolve().parent.parent.parent)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.Popen(
+            cmd, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            text=True, env=env,
+        )
+
+    def _read_address(self, child: subprocess.Popen) -> str:
+        """First stdout line of a worker is ``ADDRESS tcp://...``."""
+        timer = threading.Timer(self._start_timeout, child.kill)
+        timer.start()
+        try:
+            line = child.stdout.readline().strip()
+        finally:
+            timer.cancel()
+        if not line.startswith("ADDRESS "):
+            raise SupervisorError(
+                f"worker pid={child.pid} failed to start "
+                f"(said {line!r} instead of an address)"
+            )
+        return line.split(" ", 1)[1]
+
+    def stop(self, timeout: float = DEFAULT_STOP_TIMEOUT):
+        """Drain the group: TERM every worker, reap, merge their metrics.
+
+        Returns the merged :class:`~repro.obs.metrics.MetricsRegistry`
+        (idempotent — repeated calls return the same merge).  Workers
+        that outlive *timeout* are killed; their metrics dump (written
+        only on a graceful exit) is then simply absent from the merge.
+        """
+        with self._lock:
+            if self._stopped:
+                return self._merged
+            self._stopped = True
+        for child in self._children:
+            if child.poll() is None:
+                try:
+                    child.send_signal(signal.SIGTERM)
+                except OSError:
+                    pass
+        for child in self._children:
+            try:
+                child.communicate(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                child.kill()
+                child.communicate(timeout=10.0)
+        self._merged = self._merge_metrics()
+        self._release()
+        return self._merged
+
+    def _merge_metrics(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        merged = MetricsRegistry()
+        if self._metrics_dir is None:  # stopped before start
+            return merged
+        directory = pathlib.Path(self._metrics_dir)
+        for path in sorted(directory.glob("metrics-*.json")):
+            with open(path, "r", encoding="utf-8") as fh:
+                merged.merge(json.load(fh))
+        return merged
+
+    def metrics_files(self) -> list:
+        """The per-pid dump paths currently on disk (for inspection or
+        ``python -m repro.obs metrics``)."""
+        return sorted(
+            str(p) for p in pathlib.Path(self._metrics_dir).glob(
+                "metrics-*.json"
+            )
+        )
+
+    def _kill_all(self) -> None:
+        for child in self._children:
+            if child.poll() is None:
+                child.kill()
+        for child in self._children:
+            try:
+                child.communicate(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                pass
+
+    def _release(self) -> None:
+        if self._placeholder is not None:
+            try:
+                self._placeholder.close()
+            except OSError:
+                pass
+            self._placeholder = None
+        if self._own_metrics_dir and self._metrics_dir is not None:
+            import shutil
+
+            shutil.rmtree(self._metrics_dir, ignore_errors=True)
+
+    def __enter__(self):
+        return self.start() if not self._children else self
+
+    def __exit__(self, *exc_info):
+        self.stop()
+        return False

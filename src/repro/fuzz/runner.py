@@ -63,8 +63,10 @@ INJECTIONS = {
 
 #: Retry policy for chaos clients: persistent enough to outlast a dense
 #: fault schedule, with backoffs short enough to keep corpora fast.
+#: Deterministic schedule (no jitter): chaos corpora must replay
+#: byte-for-byte from a seed, and delays this short need no herding fix.
 CHAOS_RETRY = RetryPolicy(max_attempts=10, backoff_s=0.0005,
-                          backoff_cap_s=0.004)
+                          backoff_cap_s=0.004, jitter=False)
 
 #: Flush failures a chaos run may legitimately end with — the typed
 #: errors the batch contract promises when the network truly gives out.

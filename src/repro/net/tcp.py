@@ -38,6 +38,40 @@ def parse_tcp_address(address: str):
 
 _parse = parse_tcp_address
 
+#: Whether this platform can shard one listening port across processes.
+#: Linux and the BSDs have ``SO_REUSEPORT``; where it is missing the
+#: supervisor falls back to a single acceptor (see repro.aio.supervisor).
+HAS_REUSEPORT = hasattr(socket, "SO_REUSEPORT")
+
+
+def set_reuseport(sock: socket.socket) -> None:
+    """Enable SO_REUSEPORT on *sock* (must run before ``bind``).
+
+    Raises :class:`OSError`/:class:`AttributeError` where the option is
+    unavailable; gate call sites on :data:`HAS_REUSEPORT`.
+    """
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+
+
+def reserve_reuseport(host: str = "127.0.0.1", port: int = 0):
+    """Reserve a port for a reuseport listener group.
+
+    Binds (without listening) a SO_REUSEPORT socket to *host*:*port* and
+    returns ``(sock, port)``.  A bound-but-not-listening socket never
+    receives SYNs, so it holds the port against unrelated binders while
+    every listener that *does* set SO_REUSEPORT can still join the
+    group.  The caller keeps the socket open for the lifetime of the
+    group and closes it afterwards.
+    """
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        set_reuseport(sock)
+        sock.bind((host, port))
+    except OSError:
+        sock.close()
+        raise
+    return sock, sock.getsockname()[1]
+
 
 class TcpNetwork(Network):
     """Factory for real socket listeners/channels.
@@ -48,14 +82,15 @@ class TcpNetwork(Network):
     real TCP runs exactly as they do from the simulator.
     """
 
-    def __init__(self, trace=None):
+    def __init__(self, trace=None, reuse_port: bool = False):
         self._listeners = []
         self._channels = []
         self._lock = threading.Lock()
         self._trace = trace
+        self._reuse_port = reuse_port
 
     def listen(self, address: str, handler) -> "TcpListener":
-        listener = TcpListener(address, handler)
+        listener = TcpListener(address, handler, reuse_port=self._reuse_port)
         with self._lock:
             self._listeners.append(listener)
         return listener
@@ -87,11 +122,16 @@ class TcpListener(Listener):
     The RMI core decodes in place and retains nothing.
     """
 
-    def __init__(self, address: str, handler):
+    def __init__(self, address: str, handler, reuse_port: bool = False):
         host, port = _parse(address)
         self._handler = handler
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if reuse_port:
+            # Join (or found) the port's reuseport listener group: the
+            # kernel load-balances incoming connections across every
+            # listening member — the process-shard serving model.
+            set_reuseport(self._sock)
         self._sock.bind((host, port))
         self._sock.listen(64)
         actual_host, actual_port = self._sock.getsockname()

@@ -6,7 +6,8 @@ Subcommands:
   message chart built from ``client.send`` spans);
 - ``check FILE``   — well-formedness gate for CI (exit 1 on problems);
 - ``metrics FILE [FILE ...]`` — merge registry dumps and print the text
-  exposition.
+  exposition; ``--require NAME`` / ``--require-min NAME=VALUE`` turn it
+  into a CI gate over the merged values (exit 1 on a miss).
 """
 
 from __future__ import annotations
@@ -59,6 +60,25 @@ def _cmd_metrics(args) -> int:
         with open(path, "r", encoding="utf-8") as fh:
             registry.merge(json.load(fh))
     print(registry.render_text())
+    snapshot = registry.snapshot()
+    problems = []
+    for name in args.require:
+        if name not in snapshot:
+            problems.append(f"required metric {name!r} is missing")
+    for spec in args.require_min:
+        name, _, bound = spec.rpartition("=")
+        if not name:
+            problems.append(f"bad --require-min {spec!r}; want NAME=VALUE")
+            continue
+        value = snapshot.get(name)
+        if not isinstance(value, (int, float)) or value < float(bound):
+            problems.append(
+                f"metric {name!r} is {value!r}, need >= {bound}"
+            )
+    if problems:
+        for problem in problems:
+            print(f"PROBLEM: {problem}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -87,6 +107,15 @@ def main(argv=None) -> int:
 
     metrics = sub.add_parser("metrics", help="merge and render metrics dumps")
     metrics.add_argument("files", nargs="+", help="registry JSON dumps")
+    metrics.add_argument("--require", action="append", default=[],
+                         metavar="NAME",
+                         help="metric name that must appear in the merge "
+                              "(repeatable; exit 1 if missing) — e.g. one "
+                              "proc.<pid>.up per expected worker")
+    metrics.add_argument("--require-min", action="append", default=[],
+                         metavar="NAME=VALUE",
+                         help="metric that must be >= VALUE in the merge "
+                              "(repeatable; exit 1 if below or missing)")
     metrics.set_defaults(func=_cmd_metrics)
 
     args = parser.parse_args(argv)

@@ -9,7 +9,25 @@ read, not a stale copy.  Names are dotted and stable; the exposition
 
 from __future__ import annotations
 
+import os
+
 from repro.obs.metrics import MetricsRegistry
+
+
+def bind_process(registry: MetricsRegistry, pid: int = None,
+                 prefix: str = "proc") -> int:
+    """Publish this process's liveness under a per-pid metric name.
+
+    Two gauges: ``procs.up`` (1 per process — merged across worker
+    dumps it counts the shard group) and ``proc.<pid>.up`` (1 — merged,
+    one line per worker pid, so a merged exposition *shows* which
+    processes reported in; the CI procs-smoke job asserts on it).
+    Returns the pid it published.
+    """
+    pid = os.getpid() if pid is None else pid
+    registry.gauge(f"{prefix}s.up").set(1)
+    registry.gauge(f"{prefix}.{pid}.up").set(1)
+    return pid
 
 
 def bind_traffic_stats(registry: MetricsRegistry, stats,

@@ -5,7 +5,9 @@ this module decides what the client does *about* one.  A
 :class:`RetryPolicy` handed to :class:`~repro.rmi.client.RMIClient` (or
 :class:`~repro.aio.client.AioRMIClient`) makes each logical call survive
 transient transport failures: the client reconnects, backs off with a
-capped exponential delay, and resends the same encoded request.
+capped exponential delay (full-jitter by default, so a herd of shed
+clients decorrelates instead of resending in lockstep), and resends the
+same encoded request.
 
 Resending is only safe because every retryable request carries an
 idempotency token (``CallRequest.call_id``): the server's dedup window
@@ -37,7 +39,8 @@ it records even when the trace's head-sampling decision was "no" (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import random
+from dataclasses import dataclass, field
 
 from repro.net.transport import TransportError
 from repro.rmi.exceptions import CommunicationError, ServerBusyError
@@ -53,13 +56,27 @@ class RetryPolicy:
 
     *max_attempts* counts the first try: ``max_attempts=1`` disables
     resends while keeping the idempotency token on the wire.
-    *backoff_s* is the delay before the second attempt; each further
-    delay doubles, capped at *backoff_cap_s*.
+    *backoff_s* is the delay ceiling before the second attempt; each
+    further ceiling doubles, capped at *backoff_cap_s*.
+
+    With *jitter* (the default) each delay is drawn uniformly from
+    ``[0, ceiling]`` — "full jitter".  Deterministic doubling means N
+    clients shed by the same busy worker all resend in lockstep and
+    arrive as one synchronized wave, re-shedding together forever (the
+    thundering herd, and worse once process shards multiply the clients
+    a single busy port serves).  Jitter decorrelates the retries.
+    *rng* injects the randomness source (anything with ``uniform``),
+    so seeded chaos/fuzz runs stay reproducible and never perturb the
+    global ``random`` stream; it defaults to a private module RNG.
+    ``jitter=False`` restores the deterministic schedule for tests that
+    assert exact delays.
     """
 
     max_attempts: int = 5
     backoff_s: float = 0.05
     backoff_cap_s: float = 2.0
+    jitter: bool = True
+    rng: object = field(default=None, compare=False, repr=False)
 
     def __post_init__(self):
         if self.max_attempts < 1:
@@ -72,13 +89,31 @@ class RetryPolicy:
                 f"backoff_s ({self.backoff_s})"
             )
 
-    def delay_after(self, attempt: int) -> float:
-        """Backoff before the attempt following zero-based *attempt*."""
+    def ceiling_after(self, attempt: int) -> float:
+        """Deterministic backoff envelope following zero-based *attempt*
+        — the largest delay :meth:`delay_after` can draw for it."""
         if attempt < 0:
             raise ValueError(f"attempt cannot be negative: {attempt}")
         return min(self.backoff_s * (2 ** attempt), self.backoff_cap_s)
 
+    def delay_after(self, attempt: int) -> float:
+        """Backoff before the attempt following zero-based *attempt*.
+
+        Full jitter: uniform in ``[0, ceiling_after(attempt)]``.  With
+        ``jitter=False``, exactly the ceiling.
+        """
+        ceiling = self.ceiling_after(attempt)
+        if not self.jitter or ceiling == 0.0:
+            return ceiling
+        rng = self.rng if self.rng is not None else _DEFAULT_RNG
+        return rng.uniform(0.0, ceiling)
+
     def total_backoff(self) -> float:
         """Worst-case seconds spent sleeping if every attempt fails —
         the budget a trace of a fully-exhausted retry loop spans."""
-        return sum(self.delay_after(i) for i in range(self.max_attempts - 1))
+        return sum(self.ceiling_after(i) for i in range(self.max_attempts - 1))
+
+
+#: Policies without an injected rng share one private source: jittered
+#: delays never consume (or reseed) the global ``random`` stream.
+_DEFAULT_RNG = random.Random()

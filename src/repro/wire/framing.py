@@ -130,16 +130,22 @@ class FrameReceiver:
     frame take their own ``bytes(view)`` copy; callers that decode
     immediately (the server loop) run zero-copy.
 
-    The buffer grows by replacement (never in-place resize), so a view
-    of the previous frame can still be alive when a larger frame
-    arrives without tripping ``BufferError``.
+    The buffer grows *and shrinks* by replacement (never in-place
+    resize), so a view of the previous frame can still be alive when
+    the buffer turns over without tripping ``BufferError``.  After an
+    oversized frame, the next frame that fits the initial capacity
+    swaps the grown buffer for a fresh initial-sized one — a single
+    64KB blob no longer pins a large buffer for the connection's
+    remaining lifetime, while a sustained run of large frames keeps its
+    grown buffer (no per-frame reallocation).
     """
 
     #: Starting payload-buffer capacity; covers typical RMI messages.
     INITIAL_CAPACITY = 8192
 
     def __init__(self, initial_capacity: int = INITIAL_CAPACITY):
-        self._buf = bytearray(max(1, initial_capacity))
+        self._initial = max(1, initial_capacity)
+        self._buf = bytearray(self._initial)
         self._header = bytearray(4)
 
     @property
@@ -161,6 +167,12 @@ class FrameReceiver:
             while new_size < length:
                 new_size *= 2
             self._buf = bytearray(new_size)
+        elif length <= self._initial < len(self._buf):
+            # Shrink back after an oversized frame, also by replacement:
+            # the previous frame's view (if the caller still holds one)
+            # keeps the big buffer alive exactly as long as it needs it,
+            # and the connection stops retaining it beyond that.
+            self._buf = bytearray(self._initial)
         self._fill(sock, self._buf, length, allow_eof=False)
         return memoryview(self._buf)[:length]
 

@@ -1,0 +1,194 @@
+"""Per-process dedup scope across reuseport shards.
+
+The process-shard design shares nothing between workers but the port:
+each shard has its own dedup window, so a ``call_id`` retry that
+reconnects and lands on a *different* shard does not find the token
+there and re-executes.  These tests pin that documented caveat — and
+its safe half, exactly-once *per worker* — with two in-process
+:class:`~repro.rmi.RMIServer` shards on one SO_REUSEPORT port, each
+owning its own state (exactly like two worker processes would).
+"""
+
+import pytest
+
+from repro.apps.bank import CreditManagerImpl, bank_policy
+from repro.core import create_batch
+from repro.net import FaultSchedule, FaultyNetwork, TcpNetwork
+from repro.net.tcp import HAS_REUSEPORT, reserve_reuseport
+from repro.rmi import RMIClient, RMIServer, RetryPolicy
+
+LIMIT = 5000.0
+
+needs_reuseport = pytest.mark.skipif(
+    not HAS_REUSEPORT, reason="platform has no SO_REUSEPORT"
+)
+
+
+def _make_shard(port):
+    """One in-process stand-in for a worker: its own network, server,
+    and bank state, listening in the port's reuseport group."""
+    network = TcpNetwork(reuse_port=True)
+    server = RMIServer(network, f"tcp://127.0.0.1:{port}")
+    manager = CreditManagerImpl(default_limit=LIMIT)
+    manager.create_credit_account("alice")
+    # Bind order matches across shards, so object ids (and therefore a
+    # stub looked up via one shard) are valid on every shard.
+    server.bind("bank", manager)
+    return network, server, manager
+
+
+def balance(manager, customer="alice"):
+    return manager._accounts[customer]._balance
+
+
+@pytest.fixture
+def shard_group():
+    if not HAS_REUSEPORT:
+        pytest.skip("platform has no SO_REUSEPORT")
+    placeholder, port = reserve_reuseport()
+    shards = [_make_shard(port) for _ in range(2)]
+    try:
+        yield port, shards
+    finally:
+        for network, server, _ in shards:
+            server.close()
+            network.close()
+        placeholder.close()
+
+
+class TestCrossShardDedup:
+    def test_duplicate_delivery_executes_once_per_shard(self, shard_group):
+        """Deterministic core of the caveat, no kernel balancing
+        involved: the same tokened request delivered to two shards
+        executes on each exactly once — a third delivery to the first
+        shard replays its recorded response byte for byte."""
+        port, shards = shard_group
+        _, server1, manager1 = shards[0]
+        _, server2, manager2 = shards[1]
+        captured = []
+        real_handle = server1.handle
+
+        def capturing_handle(payload):
+            data = bytes(payload)  # detach from the receive buffer
+            captured.append(data)
+            return real_handle(data)
+
+        server1.handle = capturing_handle  # the listener grabs it at start
+        server1.start()
+        network = TcpNetwork()
+        # A retry policy makes the client stamp idempotency tokens —
+        # without one there is no call_id and nothing to dedup.
+        client = RMIClient(
+            network, server1.address,
+            retry=RetryPolicy(max_attempts=3, backoff_s=0.01, jitter=False),
+        )
+        try:
+            stub = client.lookup("bank")
+            batch = create_batch(stub, policy=bank_policy())
+            batch.find_credit_account("alice").make_purchase(60.0)
+            batch.flush()
+        finally:
+            client.close()
+            network.close()
+        assert balance(manager1) == 60.0
+        # Both the lookup and the flush carry tokens; shard 1 executed
+        # each exactly once serving the client.
+        assert server1.dedup.executed == 2
+        flush_payload = captured[-1]  # [lookup, flush]
+        original = server1.handle(flush_payload)  # replayed, not re-run
+        assert balance(manager1) == 60.0
+
+        # Same token, other shard: no entry in ITS window → re-execute.
+        # Safe (the shard had not applied the purchase) but visible —
+        # callers must not assume global exactly-once across shards.
+        server2.handle(flush_payload)
+        assert balance(manager2) == 60.0
+        assert server2.dedup.executed == 1
+        assert server2.dedup.hits == 0
+
+        # Same token, same shard again: replayed byte for byte.
+        replay = server1.handle(flush_payload)
+        assert bytes(replay) == bytes(original)
+        assert balance(manager1) == 60.0
+        assert server1.dedup.executed == 2  # still just lookup + flush
+        assert server1.dedup.hits == 2      # the two re-deliveries above
+
+    def test_lost_response_retry_lands_on_some_shard_exactly_once(
+            self, shard_group):
+        """The end-to-end caveat under real kernel balancing: a flush
+        executes, its response is lost, and the retry's fresh connection
+        lands on whichever shard the kernel picks.  Both outcomes are
+        legal and both must stay oracle-consistent — per-shard state
+        either untouched or holding exactly one purchase, and per-shard
+        windows exactly-once."""
+        port, shards = shard_group
+        for _, server, _ in shards:
+            server.start()
+        schedule = FaultSchedule.scripted([None, "drop-response"])
+        network = TcpNetwork()
+        client = RMIClient(
+            FaultyNetwork(network, schedule),
+            f"tcp://127.0.0.1:{port}",
+            retry=RetryPolicy(max_attempts=6, backoff_s=0.0, jitter=False),
+        )
+        try:
+            stub = client.lookup("bank")
+            batch = create_batch(stub, policy=bank_policy())
+            account = batch.find_credit_account("alice")
+            account.make_purchase(60.0)
+            line = account.get_credit_line()
+            batch.flush()
+            # Whichever shard answered computed from its own state:
+            # one purchase there, so the credit line is consistent.
+            assert line.get() == LIMIT - 60.0
+        finally:
+            client.close()
+            network.close()
+        balances = sorted(
+            balance(manager) for _, _, manager in shards
+        )
+        # Two tokens total: the lookup and the flush (both tokened).
+        # The lookup and the first flush executed on one shard; the
+        # retried flush landed wherever the kernel put the reconnect.
+        executed = sum(server.dedup.executed for _, server, _ in shards)
+        hits = sum(server.dedup.hits for _, server, _ in shards)
+        if hits == 1:
+            # Retry landed on the original shard: replayed, one effect.
+            assert executed == 2  # lookup + flush, once each
+            assert balances == [0.0, 60.0]
+        else:
+            # Retry landed on the other shard: re-executed there.  The
+            # tolerated caveat — but still exactly-once per worker.
+            assert hits == 0
+            assert executed == 3  # lookup + flush, plus flush on shard 2
+            assert balances == [60.0, 60.0]
+        for _, server, _ in shards:
+            assert server.dedup.executed <= 2
+
+    def test_failover_to_the_surviving_shard(self, shard_group):
+        """Killing one shard must not take the address down: new
+        connections land on the survivor."""
+        port, shards = shard_group
+        network1, server1, _ = shards[0]
+        _, server2, manager2 = shards[1]
+        server1.start()
+        server2.start()
+        server1.stop()
+        network1.close()
+
+        network = TcpNetwork()
+        client = RMIClient(
+            network, f"tcp://127.0.0.1:{port}",
+            retry=RetryPolicy(max_attempts=6, backoff_s=0.01,
+                              backoff_cap_s=0.05, jitter=False),
+        )
+        try:
+            stub = client.lookup("bank")
+            batch = create_batch(stub, policy=bank_policy())
+            batch.find_credit_account("alice").make_purchase(25.0)
+            batch.flush()
+        finally:
+            client.close()
+            network.close()
+        assert balance(manager2) == 25.0
+        assert server2.dedup.executed == 2  # lookup + flush, once each

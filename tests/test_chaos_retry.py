@@ -52,10 +52,50 @@ def retry_client(network, events, **overrides):
 
 
 class TestRetryPolicy:
-    def test_backoff_doubles_and_caps(self):
+    def test_backoff_ceiling_doubles_and_caps(self):
         policy = RetryPolicy(max_attempts=6, backoff_s=0.1, backoff_cap_s=0.5)
+        ceilings = [policy.ceiling_after(i) for i in range(5)]
+        assert ceilings == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_no_jitter_delays_equal_the_ceiling(self):
+        policy = RetryPolicy(max_attempts=6, backoff_s=0.1, backoff_cap_s=0.5,
+                             jitter=False)
         delays = [policy.delay_after(i) for i in range(5)]
         assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_full_jitter_draws_within_the_envelope(self):
+        import random
+
+        policy = RetryPolicy(max_attempts=6, backoff_s=0.1, backoff_cap_s=0.5,
+                             rng=random.Random(7))
+        for attempt in range(5):
+            draws = [policy.delay_after(attempt) for _ in range(50)]
+            ceiling = policy.ceiling_after(attempt)
+            assert all(0.0 <= d <= ceiling for d in draws)
+            # A lockstep schedule would make every draw identical; full
+            # jitter must actually spread the herd.
+            assert len(set(draws)) > 1
+
+    def test_injected_rng_makes_jitter_reproducible(self):
+        import random
+
+        a = RetryPolicy(backoff_s=0.1, rng=random.Random(42))
+        b = RetryPolicy(backoff_s=0.1, rng=random.Random(42))
+        assert [a.delay_after(i) for i in range(4)] == \
+            [b.delay_after(i) for i in range(4)]
+
+    def test_jitter_never_touches_the_global_random_stream(self):
+        import random
+
+        random.seed(2009)
+        expected = random.random()
+        random.seed(2009)
+        RetryPolicy(backoff_s=0.1).delay_after(3)
+        assert random.random() == expected
+
+    def test_total_backoff_is_the_worst_case_envelope(self):
+        policy = RetryPolicy(max_attempts=4, backoff_s=0.1, backoff_cap_s=0.5)
+        assert policy.total_backoff() == pytest.approx(0.1 + 0.2 + 0.4)
 
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -66,6 +106,8 @@ class TestRetryPolicy:
             RetryPolicy(backoff_s=1.0, backoff_cap_s=0.5)
         with pytest.raises(ValueError):
             RetryPolicy().delay_after(-1)
+        with pytest.raises(ValueError):
+            RetryPolicy().ceiling_after(-1)
 
     def test_client_rejects_non_policy(self, world):
         network, _, _ = world
@@ -123,7 +165,7 @@ class TestRetryHeals:
             ),
             SERVER,
             retry=RetryPolicy(max_attempts=4, backoff_s=0.01,
-                              backoff_cap_s=0.02),
+                              backoff_cap_s=0.02, jitter=False),
             sleep=slept.append,
         )
         stub = client.lookup("counter")

@@ -245,6 +245,36 @@ class TestFrameReceiver:
         # of the small frame still reads its original backing store.
         assert len(small) == 2
 
+    def test_buffer_shrinks_after_an_oversized_frame(self):
+        """Regression: one big frame used to pin its grown buffer for
+        the connection's lifetime; the next initial-capacity-sized
+        frame must swap it back to the starting capacity."""
+        from repro.wire import FrameReceiver
+
+        receiver = FrameReceiver(initial_capacity=16)
+        big = receiver.receive(ChunkySocket(frame(b"B" * 1000), chunk=97))
+        assert bytes(big) == b"B" * 1000
+        assert receiver.capacity >= 1000
+        small = receiver.receive(ChunkySocket(frame(b"hi")))
+        assert bytes(small) == b"hi"
+        assert receiver.capacity == 16
+        # View safety held through the turnover: shrink happened by
+        # replacement, so the big frame's view still reads its own
+        # (retired) backing store, not rewritten bytes.
+        assert bytes(big) == b"B" * 1000
+
+    def test_sustained_big_frames_keep_the_grown_buffer(self):
+        """The shrink must not thrash a workload that is legitimately
+        all large frames: only a small frame triggers the swap."""
+        from repro.wire import FrameReceiver
+
+        receiver = FrameReceiver(initial_capacity=16)
+        receiver.receive(ChunkySocket(frame(b"x" * 500)))
+        grown = receiver.capacity
+        assert grown >= 500
+        receiver.receive(ChunkySocket(frame(b"y" * 400)))
+        assert receiver.capacity == grown  # still big, still reused
+
     def test_empty_frame_payload(self):
         from repro.wire import FrameReceiver
 
