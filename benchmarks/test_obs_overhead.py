@@ -1,7 +1,10 @@
-"""Tracing overhead: the observability layer must be near-free when off.
+"""Observability overhead: near-free when off, bounded when live.
 
-Three runs of the aio throughput scenario (separate server process, same
-shape as ``test_throughput_aio``), varying only the tracing switch:
+Two lanes over the aio throughput scenario (separate server process,
+same shape as ``test_throughput_aio``), each writing its own keys into
+``BENCH_obs.json`` read-modify-write (the ``procs_scaling`` pattern):
+
+**Tracing lane** — varying only the tracing switch:
 
 - **off**     — no tracer installed anywhere: the instrumented hot paths
   cost one module-global read and a ``None`` check;
@@ -17,6 +20,13 @@ workload makes throughput scheduling-bound, so the comparison is
 stable).  The traced runs get lenient sanity bars, not SLOs: they exist
 to *measure* the overhead, which EXPERIMENTS.md records.
 
+**Admin-polled lane** — the live introspection plane's cost: the same
+server with ``--admin-port`` (which also means a rate-0 tracer feeding
+the flight recorder, a live registry, and a side-port listener) while a
+client polls one full ``snapshot`` per second for the whole run.  The
+acceptance bar: the polled server stays within 5% of the untraced lane
+measured in the same session (full scale only).
+
 ``BENCH_OBS_SCALE=smoke`` shrinks everything for CI (no bars, still
 records).  Results land in ``benchmarks/results/BENCH_obs.json``.
 """
@@ -28,6 +38,7 @@ import os
 import pathlib
 import subprocess
 import sys
+import threading
 
 import pytest
 
@@ -62,8 +73,22 @@ def _scale() -> str:
     return name
 
 
-def _serve(cfg: dict, trace_sample: float = None):
-    """Start an aio load-target server process; returns (proc, address)."""
+def _record_results(update: dict) -> None:
+    """Read-modify-write BENCH_obs.json: the tracing lane and the
+    admin-polled lane each own their keys and never clobber the other."""
+    data = {}
+    if RESULTS_PATH.exists():
+        data = json.loads(RESULTS_PATH.read_text())
+    data.update(update)
+    RESULTS_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def _serve(cfg: dict, trace_sample: float = None, admin: bool = False):
+    """Start an aio load-target server process.
+
+    Returns ``(proc, address, admin_address)`` — the admin address is
+    ``None`` unless *admin* asked for the endpoint.
+    """
     env = dict(os.environ)
     src = str(pathlib.Path(__file__).resolve().parent.parent / "src")
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
@@ -72,6 +97,8 @@ def _serve(cfg: dict, trace_sample: float = None):
             "--queue-depth", str(cfg["queue_depth"])]
     if trace_sample is not None:
         argv += ["--trace", os.devnull, "--trace-sample", str(trace_sample)]
+    if admin:
+        argv += ["--admin-port", "auto"]
     proc = subprocess.Popen(
         argv, stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True,
         env=env,
@@ -80,15 +107,71 @@ def _serve(cfg: dict, trace_sample: float = None):
     if not line.startswith("ADDRESS "):
         proc.kill()
         raise RuntimeError(f"server failed to start: {line!r}")
-    return proc, line.split(" ", 1)[1]
+    address = line.split(" ", 1)[1]
+    admin_address = None
+    if admin:
+        line = proc.stdout.readline().strip()
+        if not line.startswith("ADMIN "):
+            proc.kill()
+            raise RuntimeError(f"server printed no admin address: {line!r}")
+        admin_address = line.split(" ", 1)[1]
+    return proc, address, admin_address
 
 
-def _measure(cfg: dict, trace_sample: float = None):
-    """One load run; *trace_sample* None means tracing fully off."""
-    proc, address = _serve(cfg, trace_sample)
+class _SnapshotPoller(threading.Thread):
+    """Polls one full admin snapshot per *interval* over a persistent
+    connection — the ops workload the admin-polled lane prices in."""
+
+    def __init__(self, admin_address: str, interval: float = 1.0):
+        super().__init__(name="admin-poller", daemon=True)
+        self._address = admin_address
+        self._interval = interval
+        # Not named _stop: threading.Thread owns an internal _stop().
+        self._halt = threading.Event()
+        self.polls = 0
+        self.errors = 0
+
+    def run(self):
+        from repro.obs.live import AdminClient, AdminError
+
+        try:
+            client = AdminClient(self._address)
+        except AdminError:
+            self.errors += 1
+            return
+        try:
+            while not self._halt.is_set():
+                try:
+                    client.request("snapshot")
+                    self.polls += 1
+                except AdminError:
+                    self.errors += 1
+                    return
+                self._halt.wait(self._interval)
+        finally:
+            client.close()
+
+    def stop(self):
+        self._halt.set()
+        self.join(timeout=10.0)
+
+
+def _measure(cfg: dict, trace_sample: float = None, admin: bool = False,
+             poll_interval: float = 1.0):
+    """One load run; *trace_sample* None means tracing fully off.
+
+    With *admin*, the server exposes its live admin endpoint and a
+    poller thread pulls one full snapshot per *poll_interval* for the
+    whole window.  Returns ``(report, client_spans, polls)``.
+    """
+    proc, address, admin_address = _serve(cfg, trace_sample, admin=admin)
     tracer = None
     if trace_sample is not None:
         tracer = install_tracer(Tracer(sample_rate=trace_sample))
+    poller = None
+    if admin:
+        poller = _SnapshotPoller(admin_address, interval=poll_interval)
+        poller.start()
     network = AioNetwork()
     try:
         report = run_load(
@@ -98,6 +181,8 @@ def _measure(cfg: dict, trace_sample: float = None):
             warmup=cfg["warmup"],
         )
     finally:
+        if poller is not None:
+            poller.stop()
         if tracer is not None:
             uninstall_tracer()
         network.close()
@@ -108,7 +193,11 @@ def _measure(cfg: dict, trace_sample: float = None):
             proc.kill()
             proc.wait(timeout=30)
     spans = len(tracer) if tracer is not None else 0
-    return report, spans
+    polls = poller.polls if poller is not None else 0
+    if poller is not None:
+        assert poller.errors == 0, "admin poller lost its endpoint mid-run"
+        assert polls > 0, "admin poller never completed a snapshot"
+    return report, spans, polls
 
 
 class TestObsOverhead:
@@ -122,8 +211,8 @@ class TestObsOverhead:
             (_measure(cfg, trace_sample=None)[0] for _ in range(2)),
             key=lambda r: r.throughput,
         )
-        sampled, sampled_spans = _measure(cfg, trace_sample=0.1)
-        full, full_spans = _measure(cfg, trace_sample=1.0)
+        sampled, sampled_spans, _ = _measure(cfg, trace_sample=0.1)
+        full, full_spans, _ = _measure(cfg, trace_sample=1.0)
 
         def overhead(report):
             if off.throughput <= 0:
@@ -146,7 +235,7 @@ class TestObsOverhead:
             "overhead_sampled": round(overhead(sampled), 4),
             "overhead_full": round(overhead(full), 4),
         }
-        RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        _record_results(payload)
         print()
         print(
             f"[{scale}] off {off.throughput:7.1f} b/s | "
@@ -175,3 +264,54 @@ class TestObsOverhead:
             # gating — but an order-of-magnitude collapse is a bug.
             assert sampled.throughput >= 0.5 * off.throughput
             assert full.throughput >= 0.5 * off.throughput
+
+    def test_admin_polled_overhead_is_bounded(self, results_dir):
+        """The live introspection plane priced under load: admin
+        endpoint up, flight recorder fed at rate 0, one full snapshot
+        polled per second — versus the same server with nothing on."""
+        scale = _scale()
+        cfg = SCALES[scale]
+        poll_interval = 1.0
+
+        # Best-of-two on both sides of the gated comparison: the bar is
+        # the same order as single-window scheduling noise.
+        off = max(
+            (_measure(cfg, trace_sample=None)[0] for _ in range(2)),
+            key=lambda r: r.throughput,
+        )
+        admin, _, polls = max(
+            (_measure(cfg, trace_sample=None, admin=True,
+                      poll_interval=poll_interval) for _ in range(2)),
+            key=lambda result: result[0].throughput,
+        )
+
+        overhead = 0.0
+        if off.throughput > 0:
+            overhead = 1.0 - admin.throughput / off.throughput
+        _record_results({
+            "admin_polled_1hz": {
+                "off": off.as_dict(),
+                "admin": dict(admin.as_dict(), snapshot_polls=polls),
+                "poll_interval_s": poll_interval,
+                "overhead": round(overhead, 4),
+                "scale": scale,
+            },
+        })
+        print()
+        print(
+            f"[{scale}] off {off.throughput:7.1f} b/s | "
+            f"admin+1Hz poll {admin.throughput:7.1f} b/s "
+            f"({overhead:+.1%}, {polls} snapshots)"
+        )
+
+        for report in (off, admin):
+            assert report.batches > 0
+            assert report.errors == ()
+
+        bar = cfg["max_off_regression"]
+        if bar is not None:
+            assert admin.throughput >= (1.0 - bar) * off.throughput, (
+                f"admin endpoint + {poll_interval:.0f} Hz polling cost more "
+                f"than {bar:.0%} ({admin.throughput:.1f} vs "
+                f"{off.throughput:.1f} batches/s)"
+            )

@@ -31,6 +31,13 @@ share a GIL:
   supervised N-process reuseport server instead and folds its merged
   server metrics into ``--metrics-json`` next to the client's.
 
+  ``--admin-port PORT|auto`` (serve only) turns on the live
+  introspection plane: a side-port admin endpoint
+  (:mod:`repro.obs.live`) announced as a second stdout line ``ADMIN
+  tcp://...``.  With ``--procs`` the supervisor aggregates every
+  worker's endpoint behind one cluster address.  Poll either with
+  ``python -m repro.obs top|health|snapshot``.
+
 Observability (both subcommands): ``--trace FILE`` installs a tracer and
 exports every recorded span to *FILE* as JSON lines when the run ends
 (``--trace-sample`` sets the head-sampling rate); ``--metrics-json
@@ -110,6 +117,20 @@ def _registry_for(args):
     return MetricsRegistry()
 
 
+def _admin_port(args):
+    """``--admin-port`` resolved: None when off, 0 for ``auto``."""
+    value = getattr(args, "admin_port", None)
+    if value is None:
+        return None
+    if value == "auto":
+        return 0
+    try:
+        return int(value)
+    except ValueError:
+        raise SystemExit(f"--admin-port wants a port number or 'auto', "
+                         f"got {value!r}")
+
+
 def _install_shutdown_signals(stop_event: threading.Event) -> None:
     """Route SIGTERM/SIGINT into a graceful drain.
 
@@ -157,8 +178,23 @@ def _wait(stop_event: threading.Event, alive=None) -> bool:
 def _serve(args) -> int:
     if args.procs > 1:
         return _serve_procs(args)
+    admin_port = _admin_port(args)
     tracer = _tracer_for(args)
+    auto_tracer = None
+    if admin_port is not None and tracer is None:
+        # The flight recorder must be live even without --trace: a
+        # rate-0 tracer creates spans (feeding in-flight/completed
+        # rings and the slow log) but records none, so the sampled
+        # export stays empty and the steady-state cost stays flat.
+        from repro.obs import Tracer, install_tracer
+
+        auto_tracer = install_tracer(Tracer(sample_rate=0.0))
     registry = _registry_for(args)
+    if admin_port is not None and registry is None:
+        # Live metrics need books regardless of any shutdown dump.
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
     network = _network(args.transport, args)
     server = RMIServer(network, f"tcp://127.0.0.1:{args.port}").start()
     server.bind(SERVICE_NAME, LoadTargetImpl())
@@ -167,17 +203,42 @@ def _serve(args) -> int:
 
         bind_server(registry, server)
         bind_process(registry)
+    admin = None
+    if admin_port is not None:
+        from repro.obs.live import AdminServer, worker_commands
+
+        def health():
+            payload = {"ready": server.serving, "address": server.address,
+                       "transport": args.transport}
+            loop_thread = getattr(network, "_loop_thread", None)
+            if loop_thread is not None:
+                payload["loop_tasks"] = loop_thread.task_count()
+            return payload
+
+        admin = AdminServer(worker_commands(
+            registry=registry, tracer=tracer or auto_tracer, health=health,
+        ), port=admin_port)
     stop_event = threading.Event()
     _install_shutdown_signals(stop_event)
     _watch_stdin(stop_event)
     print(f"ADDRESS {server.address}", flush=True)
+    if admin is not None:
+        print(f"ADMIN {admin.address}", flush=True)
     _wait(stop_event)
     # Graceful drain first, books second: the final metrics dump must
-    # account for every request the drain let finish.
+    # account for every request the drain let finish.  The admin
+    # endpoint outlives the drain (health reports ready=false during
+    # it) and closes only after the final books are written.
     server.stop()
     metrics = server.metrics
     network.close()
     _dump_metrics(registry, args)
+    if admin is not None:
+        admin.close()
+    if auto_tracer is not None:
+        from repro.obs import uninstall_tracer
+
+        uninstall_tracer()
     if metrics is not None:
         print(f"METRICS {metrics}", flush=True)
     _finish_tracing(tracer, args)
@@ -196,11 +257,14 @@ def _serve_procs(args) -> int:
         procs=args.procs, transport=args.transport, port=args.port,
         workers=args.workers, queue_depth=args.queue_depth,
         metrics_dir=args.procs_metrics_dir or None,
+        admin=_admin_port(args) if _admin_port(args) is not None else False,
     ).start()
     stop_event = threading.Event()
     _install_shutdown_signals(stop_event)
     _watch_stdin(stop_event)
     print(f"ADDRESS {supervisor.address}", flush=True)
+    if _admin_port(args) is not None:
+        print(f"ADMIN {supervisor.admin_address}", flush=True)
     mode = "reuseport" if supervisor.reuseport else "single-acceptor"
     pids = ",".join(str(pid) for pid in supervisor.pids)
     print(f"PROCS {supervisor.procs} mode={mode} pids={pids}", flush=True)
@@ -295,6 +359,10 @@ def main(argv=None) -> int:
     serve.add_argument("--procs-metrics-dir", default=None, metavar="DIR",
                        help="keep per-pid worker metrics dumps in DIR "
                             "(default: a temp dir removed after the merge)")
+    serve.add_argument("--admin-port", default=None, metavar="PORT",
+                       help="serve the live admin endpoint on this side "
+                            "port ('auto' picks an ephemeral one); the "
+                            "second stdout line becomes ADMIN tcp://...")
     _add_obs_flags(serve)
     serve.set_defaults(func=_serve)
 

@@ -115,6 +115,12 @@ class AioListener(Listener):
         """A consistent snapshot of the runtime's live gauges/counters."""
         return self._recorder.snapshot()
 
+    @property
+    def ready(self) -> bool:
+        """True while the listener accepts new connections (what the
+        admin endpoint's ``health`` readiness reports)."""
+        return not self._closing and not self._closed
+
     def charge(self, kind: str, count: int = 1) -> None:
         """Record middleware charges for statistics only (real CPU time
         is already spent for real on this transport)."""

@@ -74,6 +74,11 @@ class Supervisor:
     after the merge); *host*/*port* pick the shared address (port 0
     reserves an ephemeral one).  *force_single_acceptor* opts into the
     no-reuseport fallback even where the option exists (tests).
+    *admin* turns on the live introspection plane
+    (:mod:`repro.obs.live`): each worker serves its own admin endpoint,
+    the supervisor learns the addresses (:attr:`admin_addresses`) and
+    serves a cluster aggregation at :attr:`admin_address` — ``True``
+    for an ephemeral port, an int for a fixed one.
     """
 
     def __init__(self, *, procs: int, transport: str = "aio",
@@ -81,7 +86,7 @@ class Supervisor:
                  workers: int = DEFAULT_MAX_WORKERS,
                  queue_depth: int = DEFAULT_QUEUE_DEPTH,
                  metrics_dir=None, start_timeout: float = DEFAULT_START_TIMEOUT,
-                 force_single_acceptor: bool = False):
+                 force_single_acceptor: bool = False, admin: bool = False):
         if procs < 1:
             raise ValueError(f"procs must be >= 1: {procs}")
         self._requested_procs = procs
@@ -101,6 +106,13 @@ class Supervisor:
         self._merged = None
         self._lock = threading.Lock()
         self._stopped = False
+        # admin: False/None = no admin plane; True = cluster endpoint on
+        # an ephemeral port; an int (0 included) = that port.
+        self._admin_on = admin is not False and admin is not None
+        self._admin_port = 0 if admin is True else (admin or 0)
+        self._admin_server = None
+        self._admin_addresses = []
+        self._dump_errors = 0
 
     # -- introspection ---------------------------------------------------
 
@@ -124,6 +136,24 @@ class Supervisor:
     @property
     def pids(self) -> tuple:
         return tuple(child.pid for child in self._children)
+
+    @property
+    def admin_addresses(self) -> tuple:
+        """Each worker's admin-endpoint address (admin mode only)."""
+        return tuple(self._admin_addresses)
+
+    @property
+    def admin_address(self) -> str:
+        """The supervisor's own cluster-aggregation admin endpoint."""
+        if self._admin_server is None:
+            raise RuntimeError("supervisor has no admin endpoint "
+                               "(pass admin=True)")
+        return self._admin_server.address
+
+    @property
+    def dump_errors(self) -> int:
+        """Per-pid metrics dumps that could not be merged on stop."""
+        return self._dump_errors
 
     def alive(self) -> bool:
         """True while every worker is still running."""
@@ -151,6 +181,12 @@ class Supervisor:
                 self._children.append(self._spawn(port, index))
             addresses = [self._read_address(child)
                          for child in self._children]
+            if self._admin_on:
+                self._admin_addresses = [
+                    self._read_line(child, "ADMIN")
+                    for child in self._children
+                ]
+                self._start_admin()
         except Exception:
             self._kill_all()
             self._release()
@@ -159,6 +195,18 @@ class Supervisor:
         # worker resolved the real port; adopt whatever it bound.
         self._address = addresses[0]
         return self
+
+    def _start_admin(self) -> None:
+        from repro.obs.live import AdminServer, cluster_commands
+
+        def health_extra():
+            return {"workers_alive": sum(
+                1 for child in self._children if child.poll() is None
+            )}
+
+        self._admin_server = AdminServer(cluster_commands(
+            lambda: list(self._admin_addresses), health=health_extra,
+        ), host=self._host, port=self._admin_port)
 
     def _spawn(self, port: int, index: int) -> subprocess.Popen:
         metrics_template = os.path.join(
@@ -174,6 +222,10 @@ class Supervisor:
         ]
         if self._reuseport:
             cmd.append("--reuseport")
+        if self._admin_on:
+            # Workers always take ephemeral admin ports; any requested
+            # port belongs to the supervisor's cluster endpoint.
+            cmd.extend(["--admin-port", "0"])
         env = dict(os.environ)
         src = str(pathlib.Path(__file__).resolve().parent.parent.parent)
         env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
@@ -184,16 +236,21 @@ class Supervisor:
 
     def _read_address(self, child: subprocess.Popen) -> str:
         """First stdout line of a worker is ``ADDRESS tcp://...``."""
+        return self._read_line(child, "ADDRESS")
+
+    def _read_line(self, child: subprocess.Popen, tag: str) -> str:
+        """Read one ``TAG value`` stdout line from a starting worker
+        (``ADDRESS`` first; ``ADMIN`` next when the admin plane is on)."""
         timer = threading.Timer(self._start_timeout, child.kill)
         timer.start()
         try:
             line = child.stdout.readline().strip()
         finally:
             timer.cancel()
-        if not line.startswith("ADDRESS "):
+        if not line.startswith(tag + " "):
             raise SupervisorError(
                 f"worker pid={child.pid} failed to start "
-                f"(said {line!r} instead of an address)"
+                f"(said {line!r} instead of a {tag} line)"
             )
         return line.split(" ", 1)[1]
 
@@ -209,6 +266,11 @@ class Supervisor:
             if self._stopped:
                 return self._merged
             self._stopped = True
+        if self._admin_server is not None:
+            # Stop aggregating before the shards go away: a poll racing
+            # the drain would count its dead shards as errors.
+            self._admin_server.close()
+            self._admin_server = None
         for child in self._children:
             if child.poll() is None:
                 try:
@@ -233,8 +295,23 @@ class Supervisor:
             return merged
         directory = pathlib.Path(self._metrics_dir)
         for path in sorted(directory.glob("metrics-*.json")):
-            with open(path, "r", encoding="utf-8") as fh:
-                merged.merge(json.load(fh))
+            # A worker killed mid-dump leaves a truncated file; a worker
+            # with a naming bug leaves a kind-conflicting one.  Validate
+            # each dump on a scratch registry first (merge is not
+            # atomic), and never let one bad file lose the other
+            # shards' books — skip it, warn, and count it.
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    dump = json.load(fh)
+                MetricsRegistry.from_dict(dump)
+            except (ValueError, OSError) as exc:
+                self._dump_errors += 1
+                print(f"WARNING: skipping unreadable metrics dump "
+                      f"{path.name}: {exc}", file=sys.stderr, flush=True)
+                continue
+            merged.merge(dump)
+        if self._dump_errors:
+            merged.counter("procs.dump_errors").inc(self._dump_errors)
         return merged
 
     def metrics_files(self) -> list:
@@ -257,6 +334,9 @@ class Supervisor:
                 pass
 
     def _release(self) -> None:
+        if self._admin_server is not None:
+            self._admin_server.close()
+            self._admin_server = None
         if self._placeholder is not None:
             try:
                 self._placeholder.close()

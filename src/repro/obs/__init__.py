@@ -20,7 +20,12 @@ simulator:
   per-process dumps;
 - **export and rendering** (:mod:`repro.obs.export`) — JSON-lines trace
   files, span-tree and message-chart renderers, and a well-formedness
-  checker behind ``python -m repro.obs``.
+  checker behind ``python -m repro.obs``;
+- **live introspection** (:mod:`repro.obs.live`) — a JSON-over-frames
+  admin endpoint per serving process (health, live metrics, the
+  tracer's always-on :class:`FlightRecorder`, a slow log with trace-id
+  exemplars) plus cluster aggregation across supervised shards, polled
+  by ``python -m repro.obs top|health|snapshot``.
 
 Instrumented hot paths guard on :func:`current_tracer` returning
 ``None``; with no tracer installed the per-request overhead is one
@@ -36,14 +41,22 @@ from repro.obs.export import (
     render_span_tree,
     write_jsonl,
 )
+from repro.obs.live import (
+    AdminClient,
+    AdminError,
+    AdminServer,
+    admin_request,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    MetricsKindError,
     MetricsRegistry,
     percentile,
 )
 from repro.obs.tracer import (
+    FlightRecorder,
     Span,
     Tracer,
     current_tracer,
@@ -52,13 +65,19 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "AdminClient",
+    "AdminError",
+    "AdminServer",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "MetricsKindError",
     "MetricsRegistry",
     "Span",
     "TraceContext",
     "Tracer",
+    "admin_request",
     "build_trace_trees",
     "check_spans",
     "current_span",

@@ -1,13 +1,28 @@
-"""CLI for trace files and metrics dumps: ``python -m repro.obs``.
+"""CLI for trace files, metrics dumps, and live endpoints: ``python -m repro.obs``.
 
-Subcommands:
+Post-mortem subcommands:
 
 - ``render FILE``  — span tree per trace (``--chart`` adds the Figure-1
   message chart built from ``client.send`` spans);
-- ``check FILE``   — well-formedness gate for CI (exit 1 on problems);
+- ``check FILE``   — well-formedness gate for CI (exit 1 on problems;
+  ``--allow-orphans`` tolerates cross-process parents in partial
+  captures);
 - ``metrics FILE [FILE ...]`` — merge registry dumps and print the text
   exposition; ``--require NAME`` / ``--require-min NAME=VALUE`` turn it
   into a CI gate over the merged values (exit 1 on a miss).
+
+Live subcommands (the :mod:`repro.obs.live` admin plane; *ADDRESS* is
+the ``ADMIN tcp://...`` line a ``serve --admin-port`` process prints —
+a worker's own endpoint or a supervisor's cluster aggregation):
+
+- ``top ADDRESS``      — live per-shard + merged view: readiness,
+  in-flight spans with elapsed time, the slow log with trace-id
+  exemplars, and the metrics exposition; refreshes every
+  ``--interval`` seconds until interrupted (``--once`` for one poll);
+- ``health ADDRESS``   — one health poll as JSON; ``--require-ready``
+  exits 1 unless every shard is up and ready (the CI/ops gate);
+- ``snapshot ADDRESS`` — one full snapshot as JSON (``-o FILE`` to
+  save it as a CI artifact).
 """
 
 from __future__ import annotations
@@ -15,6 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from repro.obs.export import (
     build_trace_trees,
@@ -40,7 +56,8 @@ def _cmd_render(args) -> int:
 
 def _cmd_check(args) -> int:
     spans = read_jsonl(args.file)
-    problems = check_spans(spans, require_names=args.require_span)
+    problems = check_spans(spans, require_names=args.require_span,
+                           allow_orphans=args.allow_orphans)
     traces = len(build_trace_trees(spans))
     if traces < args.min_traces:
         problems.append(
@@ -82,6 +99,140 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+# -- live admin-plane commands ----------------------------------------------
+
+
+def _indent(text: str, prefix: str = "  ") -> list:
+    return [prefix + line for line in text.splitlines()]
+
+
+def _render_flight(flight: dict, prefix: str = "  ") -> list:
+    lines = []
+    inflight = flight.get("inflight", [])
+    lines.append(f"{prefix}in-flight: {len(inflight)}")
+    for entry in inflight[:8]:
+        lines.append(
+            f"{prefix}  {entry.get('name'):<18} "
+            f"{entry.get('elapsed_ms', 0.0):9.1f}ms elapsed  "
+            f"trace={entry.get('trace_id')}"
+        )
+    slow = flight.get("slow", [])
+    threshold = flight.get("slow_threshold_s")
+    lines.append(f"{prefix}slow (>= {threshold}s): {len(slow)}")
+    for entry in slow[-8:]:
+        lines.append(
+            f"{prefix}  {entry.get('name'):<18} "
+            f"{entry.get('duration_ms', 0.0):9.1f}ms  "
+            f"trace={entry.get('trace_id')}"
+        )
+    return lines
+
+
+def _render_worker(reply: dict) -> str:
+    health = reply.get("health", {})
+    lines = [
+        f"worker pid={health.get('pid')} ready={health.get('ready')} "
+        f"uptime={health.get('uptime_s')}s"
+    ]
+    lines.extend(_render_flight(reply.get("flight", {})))
+    metrics = reply.get("metrics")
+    if metrics:
+        lines.append("metrics:")
+        lines.extend(
+            _indent(MetricsRegistry.from_dict(metrics).render_text())
+        )
+    return "\n".join(lines)
+
+
+def _render_cluster(reply: dict) -> str:
+    health = reply.get("health", {})
+    lines = [
+        f"cluster procs={health.get('procs')} ready={health.get('ready')} "
+        f"uptime={health.get('uptime_s')}s"
+    ]
+    for shard in reply.get("shards", []):
+        shard_health = shard.get("health", {})
+        flight = shard.get("flight", {})
+        lines.append(
+            f"shard {shard.get('address')} pid={shard_health.get('pid')} "
+            f"ready={shard_health.get('ready')} "
+            f"inflight={len(flight.get('inflight', []))} "
+            f"slow={len(flight.get('slow', []))}"
+        )
+        lines.extend(_render_flight(flight, prefix="    "))
+    for error in reply.get("shard_errors", []):
+        lines.append(f"shard {error.get('address')} UNREACHABLE: "
+                     f"{error.get('error')}")
+    merged = reply.get("merged")
+    if merged:
+        lines.append("merged:")
+        lines.extend(
+            _indent(MetricsRegistry.from_dict(merged).render_text())
+        )
+    return "\n".join(lines)
+
+
+def _render_snapshot(reply: dict) -> str:
+    role = reply.get("health", {}).get("role")
+    if role == "supervisor":
+        return _render_cluster(reply)
+    return _render_worker(reply)
+
+
+def _cmd_top(args) -> int:
+    from repro.obs.live import AdminClient, AdminError
+
+    try:
+        with AdminClient(args.address, timeout=args.timeout) as client:
+            while True:
+                reply = client.request("snapshot")
+                print(_render_snapshot(reply), flush=True)
+                if args.once:
+                    return 0
+                print("-" * 64, flush=True)
+                time.sleep(args.interval)
+    except AdminError as exc:
+        print(f"PROBLEM: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_health(args) -> int:
+    from repro.obs.live import AdminError, admin_request
+
+    try:
+        reply = admin_request(args.address, "health", timeout=args.timeout)
+    except AdminError as exc:
+        print(f"PROBLEM: {exc}", file=sys.stderr)
+        return 1
+    reply.pop("ok", None)
+    print(json.dumps(reply, sort_keys=True))
+    if args.require_ready and not reply.get("ready"):
+        print("PROBLEM: endpoint is not ready", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_snapshot(args) -> int:
+    from repro.obs.live import AdminError, admin_request
+
+    try:
+        reply = admin_request(args.address, "snapshot", timeout=args.timeout)
+    except AdminError as exc:
+        print(f"PROBLEM: {exc}", file=sys.stderr)
+        return 1
+    reply.pop("ok", None)
+    payload = json.dumps(reply, sort_keys=True, indent=2)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+        print(f"SNAPSHOT {args.output}")
+    else:
+        print(payload)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -103,6 +254,10 @@ def main(argv=None) -> int:
     check.add_argument("--require-span", action="append", default=[],
                        metavar="NAME",
                        help="span name that must appear (repeatable)")
+    check.add_argument("--allow-orphans", action="store_true",
+                       help="tolerate parent ids found nowhere in the "
+                            "export (partial capture: the parent ran in "
+                            "a process whose trace you don't have)")
     check.set_defaults(func=_cmd_check)
 
     metrics = sub.add_parser("metrics", help="merge and render metrics dumps")
@@ -117,6 +272,33 @@ def main(argv=None) -> int:
                          help="metric that must be >= VALUE in the merge "
                               "(repeatable; exit 1 if below or missing)")
     metrics.set_defaults(func=_cmd_metrics)
+
+    top = sub.add_parser("top", help="live view of an admin endpoint")
+    top.add_argument("address", help="admin address (the ADMIN stdout line)")
+    top.add_argument("--once", action="store_true",
+                     help="poll once and exit (scripting/CI)")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="seconds between refreshes (default 1)")
+    top.add_argument("--timeout", type=float, default=5.0,
+                     help="per-poll timeout in seconds")
+    top.set_defaults(func=_cmd_top)
+
+    health = sub.add_parser("health", help="health-poll an admin endpoint")
+    health.add_argument("address")
+    health.add_argument("--require-ready", action="store_true",
+                        help="exit 1 unless the endpoint (and, for a "
+                             "supervisor, every shard) reports ready")
+    health.add_argument("--timeout", type=float, default=5.0)
+    health.set_defaults(func=_cmd_health)
+
+    snapshot = sub.add_parser(
+        "snapshot", help="capture one full admin snapshot as JSON"
+    )
+    snapshot.add_argument("address")
+    snapshot.add_argument("-o", "--output", default=None, metavar="FILE",
+                          help="write the snapshot here instead of stdout")
+    snapshot.add_argument("--timeout", type=float, default=5.0)
+    snapshot.set_defaults(func=_cmd_snapshot)
 
     args = parser.parse_args(argv)
     return args.func(args)

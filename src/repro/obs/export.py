@@ -83,12 +83,39 @@ def build_trace_trees(spans) -> "OrderedDict":
     return trees
 
 
-def check_spans(spans, require_names=()) -> list:
+#: Span names recorded as deliberate zero-duration point events
+#: (``tracer.record(name, now, now)``): markers, not timed operations.
+#: The zero-clock-duration check exempts them; a span may also opt out
+#: with a truthy ``instant`` attribute.
+INSTANT_SPAN_NAMES = frozenset({
+    "server.shed",
+    "server.dedup",
+    "server.plan",
+    "fault.injected",
+})
+
+
+def _is_instant(span) -> bool:
+    return (span.get("name") in INSTANT_SPAN_NAMES
+            or bool(span.get("attrs", {}).get("instant")))
+
+
+def check_spans(spans, require_names=(), allow_orphans: bool = False) -> list:
     """Well-formedness problems in a span set (empty list = OK).
 
-    Checks: non-empty; unique span ids; ``end >= start``; every
-    non-empty ``parent_id`` resolves within its trace; every name in
-    *require_names* appears at least once.
+    Checks: non-empty; unique span ids; ``end > start`` — a negative
+    duration means a clock ran backwards, a zero duration on anything
+    but a known point event (:data:`INSTANT_SPAN_NAMES`, or an
+    ``instant`` attr) means a clock never advanced; every non-empty
+    ``parent_id`` resolves to an exported span *in the same trace*;
+    every name in *require_names* appears at least once.
+
+    Parent resolution distinguishes two failures: a parent id exported
+    under a **different** trace is corruption and always a problem,
+    while a parent id found **nowhere** in the export is a
+    *cross-process orphan* — the other half ran in a process whose
+    export you don't have.  *allow_orphans* tolerates only the latter
+    (partial captures are legitimate; corrupted links never are).
     """
     spans = _as_dicts(spans)
     problems = []
@@ -106,13 +133,26 @@ def check_spans(spans, require_names=()) -> list:
             problems.append(
                 f"span {span.get('name')!r} ({span_id}) ends before it starts"
             )
+        elif span["end"] == span["start"] and not _is_instant(span):
+            problems.append(
+                f"span {span.get('name')!r} ({span_id}) has a zero-clock "
+                "duration (and is not a known instant marker)"
+            )
         by_trace.setdefault(span.get("trace_id"), set()).add(span_id)
     for span in spans:
         parent = span.get("parent_id")
-        if parent and parent not in by_trace.get(span.get("trace_id"), ()):
+        if not parent or parent in by_trace.get(span.get("trace_id"), ()):
+            continue
+        if parent in seen_ids:
             problems.append(
                 f"span {span.get('name')!r} ({span.get('span_id')}) has "
-                f"unresolved parent {parent!r}"
+                f"parent {parent!r} in a different trace"
+            )
+        elif not allow_orphans:
+            problems.append(
+                f"span {span.get('name')!r} ({span.get('span_id')}) has "
+                f"unresolved parent {parent!r} (cross-process orphan — "
+                "pass --allow-orphans for partial captures)"
             )
     names = {span.get("name") for span in spans}
     for required in require_names:

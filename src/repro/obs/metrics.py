@@ -23,6 +23,26 @@ from collections import deque
 DEFAULT_WINDOW = 2048
 
 
+class MetricsKindError(ValueError):
+    """One name requested as two instrument kinds (counter vs gauge vs
+    histogram) — in one process or across merged dumps.
+
+    Summing a counter into a gauge (or concatenating either into a
+    histogram window) silently corrupts the books, so the registry
+    fails loudly instead: the conflict is always a naming bug in the
+    publisher, never a legitimate aggregation.
+    """
+
+    def __init__(self, name: str, wanted: str, existing: str):
+        self.name = name
+        self.wanted = wanted
+        self.existing = existing
+        super().__init__(
+            f"metric {name!r} already registered as a {existing}; "
+            f"cannot also use it as a {wanted}"
+        )
+
+
 def percentile(ordered, q):
     """Nearest-rank percentile of an already-sorted sample list."""
     if not ordered:
@@ -191,10 +211,20 @@ class MetricsRegistry:
 
     # -- instruments -----------------------------------------------------
 
+    def _check_kind(self, name: str, wanted: str) -> None:
+        """Raise :class:`MetricsKindError` when *name* already exists as
+        another kind (the merge-conflict guard; lock held by caller)."""
+        for existing, store in (("counter", self._counters),
+                                ("gauge", self._gauges),
+                                ("histogram", self._histograms)):
+            if existing != wanted and name in store:
+                raise MetricsKindError(name, wanted, existing)
+
     def counter(self, name: str) -> Counter:
         with self._lock:
             instrument = self._counters.get(name)
             if instrument is None:
+                self._check_kind(name, "counter")
                 instrument = self._counters[name] = Counter(name)
             return instrument
 
@@ -202,6 +232,7 @@ class MetricsRegistry:
         with self._lock:
             instrument = self._gauges.get(name)
             if instrument is None:
+                self._check_kind(name, "gauge")
                 instrument = self._gauges[name] = Gauge(name)
             return instrument
 
@@ -209,6 +240,7 @@ class MetricsRegistry:
         with self._lock:
             instrument = self._histograms.get(name)
             if instrument is None:
+                self._check_kind(name, "histogram")
                 instrument = self._histograms[name] = Histogram(name, window)
             return instrument
 
@@ -264,7 +296,16 @@ class MetricsRegistry:
         }
 
     def merge(self, dump: dict) -> "MetricsRegistry":
-        """Fold a :meth:`to_dict` dump (another process's registry) in."""
+        """Fold a :meth:`to_dict` dump (another process's registry) in.
+
+        Raises :class:`MetricsKindError` when *dump* uses a name this
+        registry holds as a different instrument kind — counter-vs-gauge
+        conflicts must never sum silently.  The merge is not atomic:
+        entries processed before the conflict are already folded in, so
+        callers that must stay consistent validate with
+        :meth:`from_dict` on a scratch registry first (what the
+        supervisor's per-file merge does).
+        """
         for name, value in dump.get("counters", {}).items():
             self.counter(name).inc(value)
         for name, value in dump.get("gauges", {}).items():

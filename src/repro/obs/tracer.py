@@ -12,7 +12,12 @@ Design constraints, in order:
   made once, where a trace's root span starts.  A *forced* span (a
   retry attempt, a shed request, an injected fault) records even in an
   unsampled trace and upgrades the whole live trace, so failures are
-  never invisible at any sample rate.
+  never invisible at any sample rate;
+- **always-on flight recording** — every span, sampled or not, feeds
+  the tracer's :class:`FlightRecorder` (a bounded ring of recently
+  completed spans, the currently in-flight set, and a slow log with
+  trace-id exemplars), so a live admin endpoint can show what a server
+  is doing *right now* even at sample rate 0.
 
 Span timestamps come from ``time.monotonic()`` (or a virtual clock
 injected for tests): durations are exact within a process; absolute
@@ -32,8 +37,130 @@ from repro.obs.context import TraceContext, _activate, _deactivate, current_span
 #: Finished spans the tracer retains (oldest dropped past this).
 DEFAULT_CAPACITY = 65536
 
+#: Completed spans the flight recorder's ring retains.
+DEFAULT_FLIGHT_CAPACITY = 256
+
+#: Slow-log entries the flight recorder retains.
+DEFAULT_SLOW_CAPACITY = 128
+
+#: Seconds past which a completed span lands in the slow log.
+DEFAULT_SLOW_THRESHOLD = 0.25
+
 #: Sentinel: "no explicit parent given — use the ambient span".
 _AMBIENT = object()
+
+#: Sentinel: "build the tracer a default flight recorder".
+_AUTO_FLIGHT = object()
+
+
+class FlightRecorder:
+    """Always-on operational view of recent and in-flight spans.
+
+    Three bounded structures, all fed by the tracer for **every** span
+    regardless of the sampling decision (the point is live
+    introspection of a degrading server, which must work at sample rate
+    0 and must never depend on an export having happened):
+
+    - a ring of the last *capacity* **completed** spans;
+    - the set of currently **in-flight** spans (started, not ended) —
+      a hung or slow request is visible *while it hangs*, with its
+      elapsed time;
+    - a **slow log** of the last *slow_capacity* spans whose duration
+      reached *slow_threshold* seconds, each carrying its trace id —
+      the exemplar that links a latency-histogram outlier to an actual
+      trace.
+
+    Every mutation is a single GIL-atomic dict/deque operation, so the
+    hot path stays lock-free; :meth:`snapshot` (rare — an admin poll)
+    retries the handful of iterations that can race a mutation.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_FLIGHT_CAPACITY,
+                 slow_capacity: int = DEFAULT_SLOW_CAPACITY,
+                 slow_threshold: float = DEFAULT_SLOW_THRESHOLD):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        if slow_capacity < 1:
+            raise ValueError(f"slow_capacity must be >= 1: {slow_capacity}")
+        if slow_threshold < 0:
+            raise ValueError(
+                f"slow_threshold must be >= 0: {slow_threshold}"
+            )
+        self.capacity = capacity
+        self.slow_threshold = slow_threshold
+        self._completed = deque(maxlen=capacity)
+        self._slow = deque(maxlen=slow_capacity)
+        self._inflight = {}
+
+    # -- feeding (hot path; one atomic op each) --------------------------
+
+    def on_start(self, span) -> None:
+        self._inflight[span.span_id] = span
+
+    def on_end(self, span) -> None:
+        self._inflight.pop(span.span_id, None)
+        self._completed.append(span)
+        if span.duration >= self.slow_threshold:
+            self._slow.append({
+                "name": span.name,
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "duration_ms": span.duration * 1e3,
+                "ended_at": span.ended_at,
+                "attrs": dict(span.attrs),
+            })
+
+    # -- reading ---------------------------------------------------------
+
+    @staticmethod
+    def _stable_copy(container):
+        """Copy a structure other threads keep appending to; a raced
+        iteration raises RuntimeError, so retry a few times."""
+        for _ in range(8):
+            try:
+                return list(container)
+            except RuntimeError:
+                continue
+        return []
+
+    def completed(self) -> list:
+        """The ring of recently completed spans, oldest first."""
+        return self._stable_copy(self._completed)
+
+    def inflight(self, now: float) -> list:
+        """Currently running spans as dicts with elapsed time, oldest
+        (longest-running) first."""
+        spans = self._stable_copy(self._inflight.values())
+        entries = [{
+            "name": span.name,
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "elapsed_ms": max(0.0, (now - span.started_at) * 1e3),
+            "attrs": dict(span.attrs),
+        } for span in spans]
+        entries.sort(key=lambda entry: -entry["elapsed_ms"])
+        return entries
+
+    def slow(self) -> list:
+        """The slow log, oldest first; entries carry trace-id exemplars."""
+        return self._stable_copy(self._slow)
+
+    def snapshot(self, now: float) -> dict:
+        """Everything the admin ``flight`` command serves, as one dict."""
+        return {
+            "capacity": self.capacity,
+            "slow_threshold_s": self.slow_threshold,
+            "completed": [span.to_dict() for span in self.completed()],
+            "inflight": self.inflight(now),
+            "slow": self.slow(),
+        }
+
+    def clear(self) -> None:
+        self._completed.clear()
+        self._slow.clear()
+        self._inflight.clear()
 
 
 class _TraceState:
@@ -90,13 +217,21 @@ class Span:
         return TraceContext(self.trace_id, self.span_id, self.parent_id)
 
     def end(self, ended_at: float = None) -> None:
-        """Finish the span; records it if the trace sampled.  Idempotent."""
+        """Finish the span; records it if the trace sampled.  Idempotent.
+
+        The flight recorder (when the tracer keeps one) sees the end
+        unconditionally — completion rings and the slow log work at any
+        sample rate.
+        """
         if self._ended:
             return
         self._ended = True
         self.ended_at = (
             self._tracer.now() if ended_at is None else ended_at
         )
+        flight = self._tracer.flight
+        if flight is not None:
+            flight.on_end(self)
         if self._state.sampled:
             self._tracer._record(self)
 
@@ -141,11 +276,16 @@ class Tracer:
     everything, 0.0 only forced spans).  *capacity* bounds retained
     spans; *clock* defaults to ``time.monotonic`` and may be a virtual
     clock in tests.  Deterministic sampling for tests: pass *seed*.
+
+    *flight* is the always-on :class:`FlightRecorder` every span feeds
+    regardless of sampling (a default one is built; pass ``None`` to
+    disable flight recording entirely).
     """
 
     def __init__(self, sample_rate: float = 1.0,
                  capacity: int = DEFAULT_CAPACITY,
-                 clock=time.monotonic, seed: int = None):
+                 clock=time.monotonic, seed: int = None,
+                 flight=_AUTO_FLIGHT):
         if not 0.0 <= sample_rate <= 1.0:
             raise ValueError(f"sample_rate must be in [0, 1]: {sample_rate}")
         if capacity < 1:
@@ -153,6 +293,7 @@ class Tracer:
         import random
 
         self.sample_rate = sample_rate
+        self.flight = FlightRecorder() if flight is _AUTO_FLIGHT else flight
         self._clock = clock
         self._spans = deque(maxlen=capacity)
         self._rng = random.Random(seed)
@@ -193,10 +334,13 @@ class Tracer:
             state = _TraceState(True)
             trace_id = parent.trace_id
             parent_id = parent.span_id
-        return Span(
+        span = Span(
             self, state, name, trace_id, self._next_id(), parent_id,
             self.now() if started_at is None else started_at, attrs,
         )
+        if self.flight is not None:
+            self.flight.on_start(span)
+        return span
 
     def record(self, name: str, started_at: float, ended_at: float,
                parent=_AMBIENT, force: bool = False, **attrs) -> Span:

@@ -34,6 +34,12 @@ class RMIServer(RMICore):
     # -- lifecycle -------------------------------------------------------
 
     @property
+    def serving(self) -> bool:
+        """True between :meth:`start` and :meth:`stop` — the readiness
+        bit the live admin endpoint reports."""
+        return self._listener is not None
+
+    @property
     def stats(self):
         """Aggregate traffic counters across all accepted requests.
 

@@ -21,6 +21,7 @@ import pytest
 from repro.aio import AioNetwork, Supervisor
 from repro.core import create_batch
 from repro.net.tcp import HAS_REUSEPORT
+from repro.obs.metrics import MetricsRegistry
 from repro.rmi import RMIClient
 
 SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
@@ -105,6 +106,154 @@ class TestSupervisor:
     def test_rejects_nonpositive_procs(self):
         with pytest.raises(ValueError):
             Supervisor(procs=0)
+
+
+class TestTolerantMerge:
+    """A bad per-pid dump must not lose the other shards' books."""
+
+    def test_bad_dumps_are_skipped_warned_and_counted(self, tmp_path,
+                                                      capsys):
+        good = MetricsRegistry()
+        good.counter("server.requests").inc(4)
+        (tmp_path / "metrics-1.json").write_text(
+            json.dumps(good.to_dict(), sort_keys=True)
+        )
+        # A worker killed mid-dump leaves a truncated file...
+        (tmp_path / "metrics-2.json").write_text('{"counters": {"serv')
+        # ...and a publisher naming bug leaves a kind-conflicting one.
+        (tmp_path / "metrics-3.json").write_text(json.dumps(
+            {"counters": {"n": 1}, "gauges": {"n": 5}, "histograms": {}}
+        ))
+        supervisor = Supervisor(procs=2, metrics_dir=str(tmp_path))
+        merged = supervisor.stop()
+        snapshot = merged.snapshot()
+        assert snapshot["server.requests"] == 4  # the good shard survives
+        assert snapshot["procs.dump_errors"] == 2
+        assert supervisor.dump_errors == 2
+        err = capsys.readouterr().err
+        assert "metrics-2.json" in err
+        assert "metrics-3.json" in err
+        assert "metrics-1.json" not in err
+
+    @needs_reuseport
+    @pytest.mark.slow
+    def test_truncated_dump_in_a_real_group_keeps_the_other_shards(
+            self, tmp_path, capsys):
+        supervisor = Supervisor(
+            procs=2, workers=8, queue_depth=64, metrics_dir=str(tmp_path)
+        )
+        with supervisor:
+            expected = _drive(supervisor.address, clients=2, calls=3)
+            # Plant the wreckage of a worker killed mid-dump alongside
+            # the real shards' files before the merge runs.
+            (tmp_path / "metrics-99999.json").write_text(
+                '{"counters": {"server.requ'
+            )
+            merged = supervisor.stop()
+        snapshot = merged.snapshot()
+        assert snapshot["server.requests"] == expected
+        assert snapshot["procs.dump_errors"] == 1
+        assert "metrics-99999.json" in capsys.readouterr().err
+
+
+class TestAdminPlane:
+    """The live introspection plane across a supervised shard group."""
+
+    @needs_reuseport
+    @pytest.mark.slow
+    def test_live_cluster_snapshot_matches_postmortem_merge(self):
+        """The acceptance pin: a live merged cluster snapshot for a
+        quiesced run equals the post-shutdown merged dump on the
+        counters that account for traffic."""
+        from repro.obs.live import admin_request
+
+        supervisor = Supervisor(
+            procs=2, workers=8, queue_depth=64, admin=True
+        )
+        with supervisor:
+            assert len(supervisor.admin_addresses) == 2
+            pids = supervisor.pids
+            expected = _drive(supervisor.address)
+            live = admin_request(supervisor.admin_address, "snapshot")
+            postmortem = supervisor.stop()
+        assert live["health"]["role"] == "supervisor"
+        assert live["health"]["ready"] is True
+        assert len(live["shards"]) == 2
+        assert live["shard_errors"] == []
+        merged_live = live["merged"]["gauges"]
+        snapshot = postmortem.snapshot()
+        # Worker telemetry publishes through collectors, so the traffic
+        # books land under gauges in both views; every pinned key must
+        # agree between the live poll and the shutdown merge.
+        for key in ("server.requests", "server.runtime.served",
+                    "procs.up", *(f"proc.{pid}.up" for pid in pids)):
+            assert merged_live[key] == snapshot[key], key
+        assert merged_live["server.requests"] == expected
+        assert live["merged"]["counters"]["procs.poll_errors"] == 0
+
+    @needs_reuseport
+    @pytest.mark.slow
+    def test_flight_recorder_surfaces_inflight_slow_request_at_rate_zero(
+            self):
+        """A hung/slow request is visible *while it hangs* (with elapsed
+        time and a trace id) and lands in the slow log with the same
+        trace-id exemplar once it completes — all without --trace, i.e.
+        at sample rate 0."""
+        from repro.obs.live import admin_request
+
+        supervisor = Supervisor(
+            procs=2, workers=8, queue_depth=64, admin=True
+        )
+        with supervisor:
+            network = AioNetwork()
+            results = []
+            try:
+                client = RMIClient(network, supervisor.address)
+                stub = client.lookup("load")
+
+                def hang():
+                    batch = create_batch(stub)
+                    future = batch.work(1.2)
+                    batch.flush()
+                    results.append(future.get())
+
+                worker = threading.Thread(target=hang)
+                worker.start()
+                time.sleep(0.4)  # the work() call now sleeps server-side
+                inflight = []
+                for address in supervisor.admin_addresses:
+                    reply = admin_request(address, "flight")
+                    inflight.extend(reply["flight"]["inflight"])
+                handles = [entry for entry in inflight
+                           if entry["name"] == "server.handle"]
+                assert len(handles) == 1, inflight
+                assert handles[0]["elapsed_ms"] > 100.0
+                assert handles[0]["trace_id"]
+                assert handles[0]["attrs"].get("method")
+                worker.join(timeout=30)
+                client.close()
+            finally:
+                network.close()
+            assert results == [1]
+            slow = []
+            for address in supervisor.admin_addresses:
+                slow.extend(admin_request(address, "slow")["slow"])
+            exemplars = [entry for entry in slow
+                         if entry["name"] == "server.handle"]
+            assert len(exemplars) == 1, slow
+            assert exemplars[0]["trace_id"] == handles[0]["trace_id"]
+            assert exemplars[0]["duration_ms"] > 1000.0
+            supervisor.stop()
+
+    @needs_reuseport
+    @pytest.mark.slow
+    def test_admin_off_by_default(self):
+        supervisor = Supervisor(procs=2, workers=8, queue_depth=64)
+        with supervisor:
+            assert supervisor.admin_addresses == ()
+            with pytest.raises(RuntimeError, match="no admin endpoint"):
+                supervisor.admin_address
+            supervisor.stop()
 
 
 class TestServeCLIDrain:

@@ -6,6 +6,7 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    MetricsKindError,
     MetricsRegistry,
     percentile,
 )
@@ -126,6 +127,73 @@ class TestRegistry:
         source.add_collector(lambda: {"client.requests": 9})
         merged = MetricsRegistry.from_dict(source.to_dict())
         assert merged.gauge("client.requests").value == 9
+
+
+class TestMergeKindConflicts:
+    """One name, two instrument kinds: the merge must fail loudly.
+
+    Summing a counter into a gauge (or folding either into a histogram
+    window) silently corrupts the books, so cross-kind reuse raises
+    :class:`MetricsKindError` — in-process at the accessor, and across
+    processes when merging dumps.  Pinned here so it can never regress
+    to a silent sum.
+    """
+
+    def test_accessor_rejects_cross_kind_reuse(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(MetricsKindError, match="already registered"):
+            registry.gauge("x")
+        with pytest.raises(MetricsKindError):
+            registry.histogram("x")
+        # Same-kind re-access still returns the one instrument.
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_error_names_both_kinds(self):
+        registry = MetricsRegistry()
+        registry.gauge("server.requests")
+        with pytest.raises(MetricsKindError) as excinfo:
+            registry.counter("server.requests")
+        assert excinfo.value.name == "server.requests"
+        assert excinfo.value.existing == "gauge"
+        assert excinfo.value.wanted == "counter"
+        assert isinstance(excinfo.value, ValueError)  # catchable broadly
+
+    def test_merge_counter_vs_gauge_fails_loudly(self):
+        a = MetricsRegistry()
+        a.counter("n").inc(1)
+        b = MetricsRegistry()
+        b.gauge("n").set(5)
+        with pytest.raises(MetricsKindError):
+            MetricsRegistry.from_dict(a.to_dict()).merge(b.to_dict())
+
+    def test_merge_counter_vs_histogram_fails_loudly(self):
+        a = MetricsRegistry()
+        a.counter("n").inc(1)
+        b = MetricsRegistry()
+        b.histogram("n").observe(1.0)
+        with pytest.raises(MetricsKindError):
+            MetricsRegistry.from_dict(a.to_dict()).merge(b.to_dict())
+
+    def test_merge_gauge_vs_histogram_fails_loudly(self):
+        a = MetricsRegistry()
+        a.gauge("n").set(2)
+        b = MetricsRegistry()
+        b.histogram("n").observe(1.0)
+        with pytest.raises(MetricsKindError):
+            MetricsRegistry.from_dict(a.to_dict()).merge(b.to_dict())
+
+    def test_conflicting_dump_validates_on_a_scratch_registry(self):
+        """The supervisor's pattern: validate each file with from_dict
+        before folding it into the real merge, so a bad dump cannot
+        half-apply (merge is documented as non-atomic)."""
+        good = MetricsRegistry()
+        good.counter("n").inc(3)
+        bad = {"counters": {"n": 1}, "gauges": {"n": 5}, "histograms": {}}
+        with pytest.raises(MetricsKindError):
+            MetricsRegistry.from_dict(bad)
+        merged = MetricsRegistry.from_dict(good.to_dict())
+        assert merged.counter("n").value == 3  # untouched by the reject
 
     def test_render_text_is_sorted_and_expands_histograms(self):
         registry = MetricsRegistry()

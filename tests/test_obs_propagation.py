@@ -164,6 +164,75 @@ class TestObsCli:
         }) + "\n")
         code = obs_main(["check", str(path)])
         assert code == 1
+        assert "cross-process orphan" in capsys.readouterr().err
+
+    def test_check_allow_orphans_tolerates_partial_captures(self, tmp_path,
+                                                            capsys):
+        """A parent id found nowhere in the export means the other half
+        ran in a process whose trace we don't have — legitimate for a
+        partial capture, so the escape hatch accepts it."""
+        path = tmp_path / "partial.jsonl"
+        path.write_text(json.dumps({
+            "name": "server.handle", "trace_id": "t", "span_id": "s",
+            "parent_id": "client-side", "start": 0.0, "end": 1.0,
+            "attrs": {},
+        }) + "\n")
+        assert obs_main(["check", str(path), "--allow-orphans"]) == 0
+        assert capsys.readouterr().out.startswith("OK:")
+
+    def test_check_rejects_cross_trace_parent_even_with_orphans_allowed(
+            self, tmp_path, capsys):
+        """A parent exported under a *different* trace is corruption,
+        not a partial capture; --allow-orphans must not excuse it."""
+        path = tmp_path / "corrupt.jsonl"
+        spans = [
+            {"name": "a", "trace_id": "t1", "span_id": "p",
+             "parent_id": "", "start": 0.0, "end": 1.0, "attrs": {}},
+            {"name": "b", "trace_id": "t2", "span_id": "c",
+             "parent_id": "p", "start": 0.0, "end": 1.0, "attrs": {}},
+        ]
+        path.write_text(
+            "\n".join(json.dumps(span) for span in spans) + "\n"
+        )
+        code = obs_main(["check", str(path), "--allow-orphans",
+                         "--min-traces", "2"])
+        assert code == 1
+        assert "different trace" in capsys.readouterr().err
+
+    def test_check_rejects_negative_duration(self, tmp_path, capsys):
+        path = tmp_path / "backwards.jsonl"
+        path.write_text(json.dumps({
+            "name": "a", "trace_id": "t", "span_id": "s",
+            "parent_id": "", "start": 2.0, "end": 1.0, "attrs": {},
+        }) + "\n")
+        assert obs_main(["check", str(path)]) == 1
+        assert "ends before it starts" in capsys.readouterr().err
+
+    def test_check_rejects_zero_clock_duration(self, tmp_path, capsys):
+        path = tmp_path / "flat.jsonl"
+        path.write_text(json.dumps({
+            "name": "server.handle", "trace_id": "t", "span_id": "s",
+            "parent_id": "", "start": 1.0, "end": 1.0, "attrs": {},
+        }) + "\n")
+        assert obs_main(["check", str(path)]) == 1
+        assert "zero-clock" in capsys.readouterr().err
+
+    def test_check_accepts_zero_duration_instant_markers(self, tmp_path,
+                                                         capsys):
+        """Deliberate point events (server.shed, fault.injected, or an
+        explicit instant attr) are exempt from the zero-clock check."""
+        path = tmp_path / "markers.jsonl"
+        spans = [
+            {"name": "server.shed", "trace_id": "t", "span_id": "a",
+             "parent_id": "", "start": 1.0, "end": 1.0, "attrs": {}},
+            {"name": "custom.mark", "trace_id": "t", "span_id": "b",
+             "parent_id": "", "start": 1.0, "end": 1.0,
+             "attrs": {"instant": True}},
+        ]
+        path.write_text(
+            "\n".join(json.dumps(span) for span in spans) + "\n"
+        )
+        assert obs_main(["check", str(path)]) == 0
 
     def test_render_prints_the_tree(self, tracer, tmp_path, capsys):
         path = self._trace_file(tracer, tmp_path)
