@@ -175,9 +175,36 @@ def _wait(stop_event: threading.Event, alive=None) -> bool:
     return True
 
 
+def _shard_identity(args):
+    """``--shard i/N`` resolved to (label, shard_home) or (\"\", None).
+
+    The returned *shard_home* is the cluster's stable name->label
+    placement: the server stamps its label into every minted ref and
+    its registry rejects binds/lookups of names homed elsewhere with a
+    typed ``WrongShardError``.
+    """
+    label = getattr(args, "shard", None)
+    if not label:
+        return "", None
+    from repro.cluster import ShardMap, parse_shard_label, shard_label
+
+    try:
+        index, shards = parse_shard_label(label)
+    except ValueError as exc:
+        raise SystemExit(f"--shard: {exc}")
+    return shard_label(index, shards), ShardMap(shards).home_of
+
+
 def _serve(args) -> int:
     if args.procs > 1:
+        if getattr(args, "shard", None):
+            raise SystemExit(
+                "--shard and --procs are different planes: shards are "
+                "spawned by python -m repro.cluster serve; --procs "
+                "multiplies one shard's acceptors"
+            )
         return _serve_procs(args)
+    shard, shard_home = _shard_identity(args)
     admin_port = _admin_port(args)
     tracer = _tracer_for(args)
     auto_tracer = None
@@ -196,8 +223,20 @@ def _serve(args) -> int:
 
         registry = MetricsRegistry()
     network = _network(args.transport, args)
-    server = RMIServer(network, f"tcp://127.0.0.1:{args.port}").start()
-    server.bind(SERVICE_NAME, LoadTargetImpl())
+    server = RMIServer(
+        network, f"tcp://127.0.0.1:{args.port}",
+        shard=shard, shard_home=shard_home,
+    ).start()
+    service_name = SERVICE_NAME
+    if shard:
+        # The home guard allows only names this shard owns; every shard
+        # serves its own load-target instance under the canonical homed
+        # name, which cluster clients derive the same way.
+        from repro.cluster import ShardMap, parse_shard_label
+
+        index, shards = parse_shard_label(shard)
+        service_name = ShardMap(shards).homed_name(SERVICE_NAME, index)
+    server.bind(service_name, LoadTargetImpl())
     if registry is not None:
         from repro.obs.bridge import bind_process, bind_server
 
@@ -210,6 +249,8 @@ def _serve(args) -> int:
         def health():
             payload = {"ready": server.serving, "address": server.address,
                        "transport": args.transport}
+            if shard:
+                payload["shard"] = shard
             loop_thread = getattr(network, "_loop_thread", None)
             if loop_thread is not None:
                 payload["loop_tasks"] = loop_thread.task_count()
@@ -353,6 +394,11 @@ def main(argv=None) -> int:
     serve.add_argument("--procs", type=int, default=1,
                        help="worker processes sharing the port via "
                             "SO_REUSEPORT (default 1: serve in-process)")
+    serve.add_argument("--shard", default=None, metavar="i/N",
+                       help="serve as shard i of an N-shard cluster: mint "
+                            "shard-stamped refs, guard the registry with "
+                            "the cluster placement, and bind the load "
+                            "target under its shard-homed name")
     serve.add_argument("--reuseport", action="store_true",
                        help="join the port's reuseport listener group "
                             "(what supervised workers do)")

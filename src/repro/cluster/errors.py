@@ -1,0 +1,31 @@
+"""Client-side cluster failure types.
+
+:class:`~repro.rmi.exceptions.WrongShardError` (a server-raised routing
+failure) lives with the other wire-registered RMI exceptions; the types
+here only ever surface client-side from :class:`~repro.cluster.client.
+ClusterBatch`.
+"""
+
+from __future__ import annotations
+
+from repro.rmi.exceptions import RemoteError
+
+
+class ShardFailedError(RemoteError):
+    """A scatter-gather flush lost one or more shards (but not all).
+
+    The dead shards' rows each carry the underlying transport failure
+    (futures raise it from ``get()``, proxies from ``ok()``); rows on
+    surviving shards resolved normally and stay readable.  ``causes``
+    maps the failed shard labels to their original exceptions, and the
+    first of them is chained as ``__cause__``.
+    """
+
+    def __init__(self, causes):
+        self.causes = dict(causes)
+        labels = ", ".join(sorted(self.causes))
+        super().__init__(labels)
+        self._labels = labels
+
+    def __str__(self):
+        return f"scatter-gather flush lost shard(s) {self._labels}"

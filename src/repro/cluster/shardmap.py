@@ -1,0 +1,97 @@
+"""Deterministic name -> shard placement for a BRMI cluster.
+
+A cluster of N servers owns disjoint object sets; placement of a *named*
+root object is a pure function of its registry name, so every client —
+and every server, via the registry's :class:`WrongShardError` guard —
+computes the same home without coordination.
+
+The hash is ``sha256``-based and therefore stable across processes,
+platforms, and interpreter restarts.  ``hash()`` is deliberately never
+used: CPython randomizes string hashes per process (PYTHONHASHSEED),
+which would scatter the same name across different shards in different
+processes — the exact bug the golden test in
+``tests/test_cluster_shardmap.py`` pins against.
+
+Shard identity travels as a *label* of the form ``"i/N"`` (shard index
+``i`` of ``N``): servers stamp it into every :class:`~repro.wire.refs.
+RemoteRef` they mint, so a ref carries its home.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from typing import Tuple
+
+
+def shard_label(index: int, shards: int) -> str:
+    """Render the canonical ``"i/N"`` placement label."""
+    return f"{index}/{shards}"
+
+
+def parse_shard_label(label: str) -> Tuple[int, int]:
+    """Parse ``"i/N"`` into ``(index, shards)``; raise on malformed input."""
+    try:
+        index_text, _, shards_text = label.partition("/")
+        index, shards = int(index_text), int(shards_text)
+    except ValueError:
+        raise ValueError(f"malformed shard label {label!r}; want 'i/N'") from None
+    if shards < 1 or not 0 <= index < shards:
+        raise ValueError(f"shard label out of range: {label!r}")
+    return index, shards
+
+
+class ShardMap:
+    """Consistent name -> shard placement over *shards* servers."""
+
+    def __init__(self, shards: int):
+        if not isinstance(shards, int) or shards < 1:
+            raise ValueError(f"a cluster needs at least one shard: {shards!r}")
+        self._shards = shards
+
+    @property
+    def shards(self) -> int:
+        return self._shards
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        return tuple(shard_label(i, self._shards) for i in range(self._shards))
+
+    @staticmethod
+    def digest_of(name: str) -> int:
+        """The stable 64-bit placement digest of a name (process-invariant)."""
+        raw = hashlib.sha256(name.encode("utf-8")).digest()
+        return int.from_bytes(raw[:8], "big")
+
+    def index_of(self, name: str) -> int:
+        """Which shard (0-based) owns the object bound under *name*."""
+        if not isinstance(name, str):
+            raise TypeError(f"placement is by registry name: {name!r}")
+        return self.digest_of(name) % self._shards
+
+    def label_of(self, name: str) -> str:
+        """The ``"i/N"`` label of the shard that owns *name*."""
+        return shard_label(self.index_of(name), self._shards)
+
+    # Alias with the signature the registry guard wants (name -> label).
+    home_of = label_of
+
+    def homed_name(self, base: str, shard: int) -> str:
+        """The canonical binding name derived from *base* homed on *shard*.
+
+        Returns *base* itself when the map already places it there,
+        otherwise the first ``"base@k"`` that lands on *shard*.  Pure
+        function of (base, shards, shard): every server and client of a
+        cluster computes the same name with no coordination — this is
+        how per-shard service instances (e.g. the load target) get
+        registry names that satisfy the home guard.
+        """
+        if not 0 <= shard < self._shards:
+            raise ValueError(f"no shard {shard} in a {self._shards}-cluster")
+        for salt in itertools.count():
+            name = f"{base}@{salt}" if salt else base
+            if self.index_of(name) == shard:
+                return name
+
+    def __repr__(self):
+        return f"<ShardMap {self._shards} shard(s)>"

@@ -43,6 +43,15 @@ from repro.rmi.stub import Stub
 from repro.wire.refs import RemoteRef
 
 
+#: Batch-internal pseudo-method: "export the resolved target as a value
+#: result".  The cluster client records it at cross-shard split points —
+#: the target marshals to its :class:`~repro.wire.refs.RemoteRef`, so the
+#: client-side future yields a live stub that a sub-batch on another
+#: shard can take as an ordinary argument.  Only reachable through a
+#: batch (ordinary dispatch checks interface specs and rejects it).
+EXPORT_OP = "__export__"
+
+
 class _RestartSignal(Exception):
     """Internal: a policy chose RESTART; unwind and re-run the batch."""
 
@@ -373,6 +382,8 @@ class BatchExecutor:
             return result, None, None
 
     def _method(self, target, name):
+        if name == EXPORT_OP:
+            return lambda: target
         if isinstance(target, Stub):
             # A loopback/foreign stub: the stub enforces its own interface.
             return getattr(target, name)

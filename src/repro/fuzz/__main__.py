@@ -52,6 +52,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--modes", default=",".join(MODES),
                         help="comma list of execution modes "
                         f"(default {','.join(MODES)})")
+    parser.add_argument("--shards", type=int, default=1, metavar="N",
+                        help="run the corpus through an N-shard cluster: "
+                        "multi-root programs, scatter-gather batches, and "
+                        "a sharded per-chain oracle (default 1 = single "
+                        "server)")
     parser.add_argument("--faults", action="store_true",
                         help="replay every batch/plan run through a seeded "
                         "fault-injecting transport behind exactly-once "
@@ -81,7 +86,17 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.show:
         for index in range(args.programs):
-            print(generate_program(args.seed, index, args.max_steps).describe())
+            if args.shards > 1:
+                from repro.fuzz.cluster import generate_cluster_program
+
+                program = generate_cluster_program(
+                    args.seed, index,
+                    roots=max(2, min(args.shards + 1, 4)),
+                    max_steps=args.max_steps,
+                )
+            else:
+                program = generate_program(args.seed, index, args.max_steps)
+            print(program.describe())
             print()
         return 0
 
@@ -96,10 +111,16 @@ def main(argv=None) -> int:
         shrink=not args.no_shrink,
         faults=args.faults,
         fault_rate=args.fault_rate,
+        shards=args.shards,
     )
     log = None if args.quiet else lambda line: print(line, flush=True)
     try:
-        report = run_corpus(config, log=log)
+        if config.shards > 1:
+            from repro.fuzz.cluster import run_cluster_corpus
+
+            report = run_cluster_corpus(config, log=log)
+        else:
+            report = run_corpus(config, log=log)
     except FuzzHarnessError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -1,0 +1,758 @@
+"""Differential fuzzing of the sharded cluster path.
+
+Cluster programs are multi-root: register 0, -1, ... each hold the root
+stub of an independent application instance (its own batch *chain*), and
+placement spreads the roots across the cluster's shards.  Two bank roots
+are always present so programs can exercise the one operation that
+crosses chains — passing a card minted on one chain to another chain's
+``credit_line_of`` — which the scatter-gather batch must turn into a
+split point.
+
+The *sharded oracle* (:func:`run_cluster_oracle`) reuses the
+single-server oracle's step interpreter with one change: the BREAK
+state is tracked **per chain**, because every chain is its own batch —
+a policy break on one shard's batch never aborts another shard's rows.
+Cross-chain arguments need no extra modelling thanks to the invariant
+the generator maintains (checked by :func:`validate_cluster_program`):
+
+- a cross-chain argument register always comes from an *earlier*
+  segment, so at record time it is already resolved — a failed register
+  kills the consuming step at record time on both paths, and a live one
+  marshals to a plain stub with no flush-time dependency edge;
+- the producer chain records **no calls at all** in the consumer's
+  segment: the split's early ``flush_and_continue`` then ships *only*
+  export pseudo-ops (it cannot break), and — crucially — no
+  producer-side effect can race the consumer's nested read.  Shard
+  sub-batches of one segment flush in unspecified relative order
+  (concurrently over TCP), so a producer mutation recorded anywhere in
+  the consumer's segment may execute before *or* after the cross-shard
+  read; a stepless producer segment is what makes program order the
+  only observable order.
+
+Violating either clause would not make the cluster wrong — splits are
+always safe, and chains are as independent as separate clients — but it
+would make this oracle's sequential per-chain interpretation unsound,
+so the generator never does and the shrinker's candidates are filtered
+through the same validator.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from repro.cluster import ClusterClient, ShardMap, shard_label
+from repro.net import FaultyNetwork, SimNetwork, TcpNetwork, preset
+from repro.rmi import RETRYABLE_ERRORS, RMIServer
+
+from repro.fuzz.execute import (
+    FuzzHarnessError,
+    RunResult,
+    _collect_batch_outcomes,
+    _group_segments,
+    _materialize,
+    _oracle_cursor,
+    _oracle_step,
+    _record_blocker,
+    compare_runs,
+    exc_key,
+    outcome_from_exc,
+)
+from repro.fuzz.generate import (
+    BANK_CUSTOMERS,
+    BANK_UNKNOWN,
+    DOMAINS,
+    FS_KNOWN,
+    FS_UNKNOWN,
+    _amount,
+    _Builder,
+    _FS_SUB_METHODS,
+    policies_for,
+)
+from repro.fuzz.program import Program, Reg, root_reg, validate_program
+from repro.fuzz.shrink import shrink_program
+
+__all__ = [
+    "ClusterWorld",
+    "cluster_domains",
+    "generate_cluster_program",
+    "run_cluster_batched",
+    "run_cluster_corpus",
+    "run_cluster_oracle",
+    "validate_cluster_program",
+]
+
+
+def cluster_domains(program: Program):
+    """Per-root domains of a cluster program (joined with '+' in .domain)."""
+    domains = tuple(program.domain.split("+"))
+    if len(domains) != program.roots:
+        raise FuzzHarnessError(
+            f"program has {program.roots} roots but domains {domains!r}"
+        )
+    return domains
+
+
+# -- generation --------------------------------------------------------------
+
+
+class _ChainState:
+    """Typed registers one chain has produced so far."""
+
+    def __init__(self, chain: int, domain: str):
+        self.chain = chain
+        self.domain = domain
+        self.root = root_reg(chain)
+        self.cards = {}  # seq -> segment it was created in (bank)
+        self.nodes = [self.root]  # linkedlist registers
+        self.files = []  # fileserver registers
+
+
+def generate_cluster_program(seed: int, index: int, roots: int = 2,
+                             max_steps: int = 18) -> Program:
+    """Deterministically generate multi-root cluster program *index*."""
+    if roots < 2:
+        raise FuzzHarnessError(
+            f"cluster programs need at least two roots, got {roots}"
+        )
+    rng = random.Random(f"{seed}:{index}:{roots}:brmi-cluster-fuzz")
+    # Two bank chains always exist: they are the only chains that can
+    # exchange registers (credit_line_of takes a card), and without them
+    # a corpus would never exercise split points.
+    domains = ["bank", "bank"] + [
+        rng.choice(DOMAINS) for _ in range(roots - 2)
+    ]
+    rng.shuffle(domains)
+    states = [_ChainState(chain, domain)
+              for chain, domain in enumerate(domains)]
+    banks = [s for s in states if s.domain == "bank"]
+    b = _Builder(rng)
+    total = rng.randint(roots + 2, max(max_steps, roots + 4))
+    touched = set()  # chains with any step in the current segment
+    exporters = set()  # chains serving as cross-chain producers this segment
+    while b.seq < total:
+        if b.steps and rng.random() < 0.18:
+            b.segment += 1
+            touched = set()
+            exporters = set()
+            # Cross-chain consumers live right at the fresh boundary,
+            # while every producer chain is still clean this segment.
+            while rng.random() < 0.55:
+                if not _emit_cross_chain(b, banks, touched, exporters, rng):
+                    break
+        # Producer chains stay stepless for the rest of their segment:
+        # a same-segment producer step could flush before or after the
+        # consumer's nested read, which program order cannot model.
+        state = rng.choice([s for s in states if s.chain not in exporters])
+        _EMITTERS[state.domain](b, state, rng, total)
+        touched.add(state.chain)
+    program = Program(
+        domain="+".join(domains), steps=tuple(b.steps), seed=seed,
+        index=index, roots=roots,
+    )
+    validate_program(program)
+    validate_cluster_program(program)
+    return program
+
+
+def _emit_cross_chain(b, banks, touched, exporters, rng) -> bool:
+    """One consumer-chain ``credit_line_of(card from another chain)``."""
+    pairs = []
+    for consumer in banks:
+        if consumer.chain in exporters:
+            continue  # an exporting chain must stay stepless
+        for producer in banks:
+            if producer.chain == consumer.chain:
+                continue
+            if producer.chain in touched:
+                continue  # producer already recorded in this segment
+            eligible = [seq for seq, segment in producer.cards.items()
+                        if segment < b.segment]
+            if eligible:
+                pairs.append((consumer, producer, eligible))
+    if not pairs:
+        return False
+    consumer, producer, eligible = rng.choice(pairs)
+    b.emit(consumer.root, "credit_line_of", (Reg(rng.choice(eligible)),))
+    touched.add(consumer.chain)
+    exporters.add(producer.chain)
+    return True
+
+
+def _emit_bank(b, state, rng, total):
+    cards = sorted(state.cards)
+    roll = rng.random()
+    if roll < 0.30 or not cards:
+        known = rng.random() < 0.75
+        name = rng.choice(BANK_CUSTOMERS if known else BANK_UNKNOWN)
+        method = rng.choice(("find_credit_account", "create_credit_account"))
+        seq = b.emit(state.root, method, (name,), kind="remote", iface="card")
+        state.cards[seq] = b.segment
+    elif roll < 0.45:
+        b.emit(state.root, "credit_line_of", (Reg(rng.choice(cards)),))
+    elif roll < 0.60:
+        b.emit(rng.choice(cards), "get_credit_line")
+    elif roll < 0.75:
+        b.emit(rng.choice(cards), "make_purchase", (_amount(rng),))
+    elif roll < 0.88:
+        amounts = [_amount(rng) for _ in range(rng.randint(1, 3))]
+        if rng.random() < 0.4:
+            amounts = tuple(amounts)
+        b.emit(rng.choice(cards), "make_purchases", (amounts,))
+    else:
+        b.emit(rng.choice(cards), "pay_balance", (_amount(rng),))
+
+
+def _emit_linkedlist(b, state, rng, total):
+    if rng.random() < 0.55:
+        base = rng.choice(state.nodes)
+        state.nodes.append(
+            b.emit(base, "next_node", kind="remote", iface="node")
+        )
+    else:
+        b.emit(rng.choice(state.nodes), "get_value")
+
+
+def _emit_fileserver(b, state, rng, total):
+    roll = rng.random()
+    if roll < 0.22:
+        known = rng.random() < 0.7
+        name = rng.choice(FS_KNOWN if known else FS_UNKNOWN)
+        state.files.append(
+            b.emit(state.root, "get_file", (name,), kind="remote",
+                   iface="file")
+        )
+    elif roll < 0.30 and b.seq + 2 <= total:
+        cursor = b.emit(state.root, "list_files", kind="cursor", iface="file")
+        for method in rng.sample(
+            _FS_SUB_METHODS, rng.randint(1, min(3, total - b.seq))
+        ):
+            b.emit(cursor, method, cursor=cursor)
+    elif state.files:
+        target = rng.choice(state.files)
+        method = rng.choice(
+            ("get_name", "length", "read_contents", "last_modified",
+             "is_directory", "delete")
+        )
+        b.emit(target, method)
+    else:
+        b.emit(state.root,
+               rng.choice(("get_name", "last_modified", "length")))
+
+
+def _emit_noop(b, state, rng, total):
+    b.emit(state.root, "noop")
+
+
+_EMITTERS = {
+    "bank": _emit_bank,
+    "linkedlist": _emit_linkedlist,
+    "fileserver": _emit_fileserver,
+    "noop": _emit_noop,
+}
+
+
+def validate_cluster_program(program: Program) -> dict:
+    """Check the cross-chain oracle invariant; returns the chain map.
+
+    Every argument register consumed across chains must (a) come from
+    an earlier segment than the consuming step and (b) belong to a
+    chain that records **no step at all** in the consuming step's
+    segment — not before the consumer (its effects would precede the
+    read on both paths anyway, but its flush could break), and not
+    after it either, because shard sub-batches of one segment execute
+    in unspecified relative order: a later producer mutation may run
+    before the consumer's nested read on the cluster while the
+    sequential oracle always runs it after.
+    """
+    chains = program.chain_of()
+    by_segment = {}
+    for step in program.steps:
+        by_segment.setdefault(step.segment, []).append(step)
+    for steps in by_segment.values():
+        stepped = {chains[step.target] for step in steps}
+        for step in steps:
+            target_chain = chains[step.target]
+            for reg in step.arg_regs():
+                if reg.seq <= 0 or chains[reg.seq] == target_chain:
+                    continue
+                producer = program.step(reg.seq)
+                if producer.segment >= step.segment:
+                    raise ValueError(
+                        f"cross-chain argument r{reg.seq} must come from "
+                        f"an earlier segment: {step.describe()}"
+                    )
+                if chains[reg.seq] in stepped:
+                    raise ValueError(
+                        f"cross-chain producer chain of r{reg.seq} also "
+                        f"records in this segment: {step.describe()}"
+                    )
+    return chains
+
+
+# -- the sharded naive-RMI oracle --------------------------------------------
+
+
+def run_cluster_oracle(program: Program, stubs: dict, policy,
+                       request_count=None) -> RunResult:
+    """Interpret a multi-root program over plain per-shard RMI.
+
+    *stubs* maps root registers (0, -1, ...) to live stubs.  Identical
+    to :func:`repro.fuzz.execute.run_oracle` except that the policy
+    BREAK state is per chain — each chain is its own batch.
+    """
+    from repro.core.policies import ExceptionAction
+
+    result = RunResult(mode="oracle")
+    chains = program.chain_of()
+    regs = dict(stubs)
+    deps = {reg: frozenset() for reg in program.root_regs}
+    failures = {}
+    dead = set()
+    step_segment = {reg: -1 for reg in program.root_regs}
+    before = request_count() if request_count else 0
+
+    def decide(exc, method, index):
+        action = policy.decide(exc, method, index)
+        if action not in (ExceptionAction.BREAK, ExceptionAction.CONTINUE):
+            raise FuzzHarnessError(
+                f"fuzz policies must only BREAK/CONTINUE, got {action!r}"
+            )
+        return action
+
+    for steps in _group_segments(program):
+        broke = {chain: False for chain in range(program.roots)}
+        index = 0
+        while index < len(steps):
+            step = steps[index]
+            chain = chains[step.target]
+            if step.kind == "cursor":
+                sub_end = index + 1
+                while (sub_end < len(steps)
+                       and steps[sub_end].cursor == step.seq):
+                    sub_end += 1
+                subs = steps[index + 1:sub_end]
+                broke[chain] = _oracle_cursor(
+                    program, step, subs, step.segment, regs, deps,
+                    failures, dead, step_segment, broke[chain], decide,
+                    result,
+                )
+                index = sub_end
+                continue
+            broke[chain] = _oracle_step(
+                step, step.segment, regs, deps, failures, dead,
+                step_segment, broke[chain], decide, result,
+            )
+            index += 1
+
+    if request_count:
+        result.requests = request_count() - before
+    return result
+
+
+# -- the scatter-gather batch driver -----------------------------------------
+
+
+def run_cluster_batched(program: Program, cluster: ClusterClient,
+                        stubs: dict, policy, *,
+                        reuse_plans: bool = False) -> RunResult:
+    """Record a multi-root program through a real :class:`ClusterBatch`."""
+    result = RunResult(mode="plan" if reuse_plans else "batch")
+    batch = cluster.create_batch(policy=policy, reuse_plans=reuse_plans)
+    regs = {reg: batch.on(stub) for reg, stub in stubs.items()}
+    dead = {}
+    futures = {}
+    proxies = {}
+    cursors = {}
+    before = _cluster_requests(cluster)
+
+    segments = _group_segments(program)
+    last = len(segments) - 1
+    for segment_index, steps in enumerate(segments):
+        for step in steps:
+            blocked = _record_blocker(step, dead, regs)
+            if blocked is not None:
+                dead[step.seq] = blocked
+                continue
+            target = (cursors[step.cursor][0] if step.cursor
+                      else regs[step.target])
+            try:
+                produced = getattr(target, step.method)(
+                    *_materialize(step.args, regs)
+                )
+            except Exception as exc:  # noqa: BLE001 - recording verdicts
+                dead[step.seq] = outcome_from_exc(exc)
+                continue
+            if step.cursor:
+                cursors[step.cursor][1][step.seq] = produced
+            elif step.kind == "value":
+                futures[step.seq] = produced
+            elif step.kind == "remote":
+                proxies[step.seq] = produced
+                regs[step.seq] = produced
+            else:
+                cursors[step.seq] = (produced, {})
+        try:
+            if segment_index == last:
+                batch.flush()
+            else:
+                batch.flush_and_continue()
+        except Exception as exc:  # noqa: BLE001 - a flush must never blow up
+            result.flush_error = exc_key(exc)
+            break
+
+    _collect_batch_outcomes(program, dead, futures, proxies, cursors, result)
+    result.requests = _cluster_requests(cluster) - before
+    return result
+
+
+def _cluster_requests(cluster: ClusterClient) -> int:
+    return sum(cluster.client_for(index).stats.requests
+               for index in range(cluster.shards))
+
+
+# -- worlds ------------------------------------------------------------------
+
+
+class ClusterWorld:
+    """One transport universe holding a whole cluster of shard servers."""
+
+    def __init__(self, transport: str, shards: int):
+        self.transport = transport
+        self.shard_map = ShardMap(shards)
+        self.servers = []
+        if transport == "tcp":
+            self.network = TcpNetwork()
+            template = "tcp://127.0.0.1:0"
+        else:
+            self.network = SimNetwork(conditions=preset(transport))
+            template = f"sim://{transport}-shard{{index}}:1099"
+        for index in range(shards):
+            self.servers.append(
+                RMIServer(
+                    self.network,
+                    template.format(index=index),
+                    shard=shard_label(index, shards),
+                    shard_home=self.shard_map.home_of,
+                ).start()
+            )
+        self.addresses = tuple(server.address for server in self.servers)
+        self._names = itertools.count()
+
+    @property
+    def shards(self) -> int:
+        return len(self.servers)
+
+    def fresh_cluster(self, schedule=None) -> ClusterClient:
+        """A clean cluster client (or, given a schedule, a chaos one).
+
+        Scatter-gather flushes stay single-threaded off TCP: the sim
+        networks advance one virtual clock that is not thread-safe.
+        """
+        from repro.fuzz.runner import CHAOS_RETRY
+
+        network = self.network
+        retry = None
+        if schedule is not None:
+            network = FaultyNetwork(self.network, schedule)
+            retry = CHAOS_RETRY
+        return ClusterClient(
+            network, self.addresses, retry=retry,
+            concurrent_flush=(self.transport == "tcp"),
+        )
+
+    def bind_roots(self, program: Program):
+        """Bind fresh app instances for every root; returns (names, readers).
+
+        Root *chain* is homed on shard ``chain % shards``: the binding
+        name is mined until the :class:`ShardMap` places it there, so a
+        program's chains always spread across the cluster (and the
+        registry's own home guard agrees with the placement).
+        """
+        from repro.fuzz.runner import _build_domain
+
+        run_id = next(self._names)
+        names = {}
+        readers = {}
+        for chain, domain in enumerate(cluster_domains(program)):
+            shard = chain % self.shards
+            name = self._mine_name(domain, run_id, chain, shard)
+            impl, reader = _build_domain(domain)
+            self.servers[shard].bind(name, impl)
+            names[root_reg(chain)] = name
+            readers[root_reg(chain)] = reader
+        return names, readers
+
+    def _mine_name(self, domain, run_id, chain, shard) -> str:
+        for salt in itertools.count():
+            name = f"{domain}-{run_id}-c{chain}-{salt}"
+            if self.shard_map.index_of(name) == shard:
+                return name
+
+    def post_state(self, program: Program, readers: dict):
+        return tuple(readers[reg]() for reg in program.root_regs)
+
+    def close(self) -> None:
+        for server in self.servers:
+            server.close()
+        self.network.close()
+
+
+# -- corpus orchestration ----------------------------------------------------
+
+
+def run_cluster_corpus(config, log=None):
+    """The differential matrix of :func:`repro.fuzz.runner.run_corpus`,
+    with every batch/plan run executed through a sharded cluster."""
+    from repro.fuzz.runner import (
+        CLEAN_FAULT_ERRORS,
+        MODES,
+        TRANSPORTS,
+        Divergence,
+        FuzzReport,
+        _chaos_schedule,
+    )
+
+    shards = config.shards
+    if shards < 2:
+        raise FuzzHarnessError(
+            f"cluster corpora need at least two shards, got {shards}"
+        )
+    unknown = sorted(set(config.transports) - set(TRANSPORTS))
+    if unknown:
+        raise FuzzHarnessError(
+            f"unknown transport(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(TRANSPORTS)}"
+        )
+    unknown = sorted(set(config.modes) - set(MODES))
+    if unknown:
+        raise FuzzHarnessError(
+            f"unknown mode(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(MODES)}"
+        )
+    if config.inject:
+        raise FuzzHarnessError(
+            "--inject-bug targets the single-server recorder; "
+            "run it without --shards"
+        )
+    clean_errors = CLEAN_FAULT_ERRORS | {
+        "repro.cluster.errors.ShardFailedError",
+    }
+    roots = max(2, min(shards + 1, 4))
+    report = FuzzReport(config=config)
+    coverage = report.coverage
+    coverage.update(
+        transports=set(), policies=set(), modes=set(), domains=set(),
+        plan_inline=0, plan_installs=0, plan_invocations=0,
+        plan_cache_hits=0, fault_events=0, clean_failures=0,
+        dedup_replays=0, cross_chain_steps=0, shards=shards,
+    )
+    worlds = {}
+    oracle_world = None
+    oracle_cluster = None
+    try:
+        for name in config.transports:
+            worlds[name] = ClusterWorld(name, shards)
+        oracle_world = ClusterWorld("localhost", shards)
+        oracle_cluster = oracle_world.fresh_cluster()
+        for index in range(config.programs):
+            program = generate_cluster_program(
+                config.seed, index, roots=roots, max_steps=config.max_steps
+            )
+            report.programs += 1
+            coverage["domains"].update(cluster_domains(program))
+            coverage["cross_chain_steps"] += count_cross_chain(program)
+            if log is not None and index % 10 == 0:
+                log(f"cluster program #{index} ({program.domain}, "
+                    f"{len(program.steps)} steps)")
+            for policy_name, policy in policies_for(
+                program, config.policies
+            ).items():
+                coverage["policies"].add(policy_name)
+                oracle = _cluster_oracle_run(
+                    oracle_world, oracle_cluster, program, policy
+                )
+                report.runs += 1
+                for transport in config.transports:
+                    coverage["transports"].add(transport)
+                    divergence = _check_cluster_program(
+                        worlds[transport], program, policy_name, policy,
+                        oracle, config, clean_errors, report, coverage,
+                    )
+                    if divergence is not None:
+                        _shrink_cluster_divergence(
+                            divergence, worlds[transport], oracle_world,
+                            oracle_cluster, policy, config, clean_errors,
+                        )
+                        report.divergences.append(divergence)
+                        if log is not None:
+                            log(divergence.describe())
+                        if len(report.divergences) >= config.max_divergences:
+                            return report
+    finally:
+        for world in worlds.values():
+            for server in world.servers:
+                coverage["plan_cache_hits"] += (
+                    server.plan_cache.stats.snapshot().hits
+                )
+                coverage["dedup_replays"] += server.dedup.hits
+        if oracle_cluster is not None:
+            oracle_cluster.close()
+        if oracle_world is not None:
+            oracle_world.close()
+        for world in worlds.values():
+            world.close()
+    return report
+
+
+def count_cross_chain(program: Program) -> int:
+    """How many steps of *program* consume a register across chains."""
+    chains = program.chain_of()
+    count = 0
+    for step in program.steps:
+        if any(reg.seq > 0 and chains[reg.seq] != chains[step.target]
+               for reg in step.arg_regs()):
+            count += 1
+    return count
+
+
+def _cluster_oracle_run(world, cluster, program, policy):
+    names, readers = world.bind_roots(program)
+    stubs = {reg: cluster.lookup(name) for reg, name in names.items()}
+    result = run_cluster_oracle(
+        program, stubs, policy,
+        request_count=lambda: _cluster_requests(cluster),
+    )
+    result.post_state = world.post_state(program, readers)
+    return result
+
+
+def _cluster_mode_run(world, cluster, program, policy, reuse_plans):
+    names, readers = world.bind_roots(program)
+    stubs = {reg: cluster.lookup(name) for reg, name in names.items()}
+    result = run_cluster_batched(
+        program, cluster, stubs, policy, reuse_plans=reuse_plans
+    )
+    result.post_state = world.post_state(program, readers)
+    return result
+
+
+def _check_cluster_program(world, program, policy_name, policy, oracle,
+                           config, clean_errors, report, coverage):
+    """One (program, policy, transport) cell of the cluster matrix.
+
+    The traffic bound is never enforced for multi-shard runs: split
+    points and per-chain close flushes legitimately cost extra round
+    trips (correctness first — the conformance claim is observational).
+    """
+    for mode in config.modes:
+        coverage["modes"].add(mode)
+        schedule = _chaos_schedule_for(config, program, policy_name,
+                                       world.transport, mode)
+        cluster = world.fresh_cluster(schedule)
+        try:
+            runs = config.plan_runs if mode == "plan" else 1
+            for run_index in range(runs):
+                try:
+                    result = _cluster_mode_run(
+                        world, cluster, program, policy,
+                        reuse_plans=(mode == "plan"),
+                    )
+                except RETRYABLE_ERRORS:
+                    if schedule is None:
+                        raise
+                    coverage["clean_failures"] += 1
+                    report.runs += 1
+                    continue
+                report.runs += 1
+                if schedule is not None and result.flush_error in clean_errors:
+                    coverage["clean_failures"] += 1
+                    continue
+                diffs = compare_runs(oracle, result, check_traffic=False)
+                if diffs:
+                    return Divergence(
+                        program=program,
+                        transport=world.transport,
+                        policy=policy_name,
+                        mode=mode,
+                        run_index=run_index,
+                        diffs=diffs,
+                    )
+        finally:
+            if mode == "plan":
+                for index in range(cluster.shards):
+                    memo = cluster.client_for(index).plan_memo
+                    coverage["plan_inline"] += memo.inline_flushes
+                    coverage["plan_installs"] += memo.plan_installs
+                    coverage["plan_invocations"] += memo.plan_invocations
+            if schedule is not None:
+                coverage["fault_events"] += schedule.injected
+            cluster.close()
+    return None
+
+
+def _chaos_schedule_for(config, program, policy_name, transport, mode):
+    from repro.fuzz.runner import _chaos_schedule
+
+    return _chaos_schedule(config, program.index, policy_name, transport,
+                           mode)
+
+
+def _shrink_cluster_divergence(divergence, world, oracle_world,
+                               oracle_cluster, policy, config, clean_errors):
+    """Shrink a cluster divergence, skipping invariant-breaking candidates.
+
+    ``merged_segments`` (and some step drops) can pull a cross-chain
+    argument into its producer's segment, where the per-chain oracle is
+    unsound — those candidates are reported as non-diverging so the
+    shrinker keeps the last sound repro instead.
+    """
+    if not config.shrink:
+        return
+    mode = divergence.mode
+    runs = config.plan_runs if mode == "plan" else 1
+    seen = {}
+
+    def diverges(candidate):
+        key = candidate.describe()
+        if key in seen:
+            return seen[key]
+        try:
+            validate_cluster_program(candidate)
+        except ValueError:
+            seen[key] = []
+            return []
+        oracle = _cluster_oracle_run(
+            oracle_world, oracle_cluster, candidate, policy
+        )
+        schedule = _chaos_schedule_for(
+            config, divergence.program, divergence.policy, world.transport,
+            mode,
+        )
+        cluster = world.fresh_cluster(schedule)
+        diffs = []
+        try:
+            for _ in range(runs):
+                try:
+                    result = _cluster_mode_run(
+                        world, cluster, candidate, policy,
+                        reuse_plans=(mode == "plan"),
+                    )
+                except RETRYABLE_ERRORS:
+                    if schedule is None:
+                        raise
+                    continue
+                if schedule is not None and result.flush_error in clean_errors:
+                    continue
+                diffs = compare_runs(oracle, result, check_traffic=False)
+                if diffs:
+                    break
+        finally:
+            cluster.close()
+        seen[key] = diffs
+        return diffs
+
+    shrunk, attempts = shrink_program(divergence.program, diverges)
+    divergence.shrunk = shrunk
+    divergence.shrink_attempts = attempts
+    divergence.shrunk_diffs = diverges(shrunk) or list(divergence.diffs)

@@ -265,8 +265,8 @@ def _pre_execution(step, segment_index, deps, failures, dead, step_segment,
     # raise their stored verdict, target first, then arguments in
     # conversion order.
     for reg in (step.target,) + tuple(r.seq for r in step.arg_regs()):
-        if reg == ROOT_REG:
-            continue
+        if reg <= ROOT_REG:
+            continue  # root registers (0, -1, ...) never fail
         resolved = reg in dead or step_segment.get(reg, 10**9) < segment_index
         if not resolved:
             continue

@@ -114,7 +114,13 @@ def policies_for(program: Program, names=None):
     ``(seed, index)`` pair reproduces the exact policies too.
     """
     rng = random.Random(f"{program.seed}:{program.index}:brmi-fuzz-policy")
-    pool = _EXCEPTION_POOLS[program.domain]
+    # Multi-root cluster programs join their per-root domains with "+";
+    # their custom policies draw from the union of the pools involved.
+    pool = tuple(dict.fromkeys(
+        exc
+        for domain in program.domain.split("+")
+        for exc in _EXCEPTION_POOLS[domain]
+    ))
     custom_break = CustomPolicy(default_action=ExceptionAction.CONTINUE)
     custom_break.set_action(rng.choice(pool), ExceptionAction.BREAK)
     custom_continue = CustomPolicy(default_action=ExceptionAction.BREAK)

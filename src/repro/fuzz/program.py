@@ -26,8 +26,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Tuple
 
-#: Register id of the program's root stub.
+#: Register id of the program's (first) root stub.  Multi-root cluster
+#: programs use 0, -1, ... -(roots-1): root registers never collide with
+#: step registers, which are positive seqs.
 ROOT_REG = 0
+
+
+def root_reg(chain: int) -> int:
+    """Register id of root *chain* (0-based) of a multi-root program."""
+    return ROOT_REG - chain
 
 
 @dataclass(frozen=True)
@@ -82,10 +89,28 @@ class Program:
     seed: int = 0
     index: int = 0
     notes: Tuple[str, ...] = field(default_factory=tuple)
+    #: Root count: roots > 1 makes this a cluster program whose root
+    #: registers are 0, -1, ... -(roots-1), one batch chain each.
+    roots: int = 1
 
     @property
     def segments(self) -> int:
         return (max((s.segment for s in self.steps), default=0)) + 1
+
+    @property
+    def root_regs(self) -> Tuple[int, ...]:
+        return tuple(root_reg(chain) for chain in range(self.roots))
+
+    def chain_of(self) -> dict:
+        """Map every register (roots and steps) to its chain index.
+
+        A step's chain is its target's chain — results never leave their
+        root's chain; only arguments cross (the cluster split rule).
+        """
+        chains = {root_reg(chain): chain for chain in range(self.roots)}
+        for step in self.steps:
+            chains[step.seq] = chains[step.target]
+        return chains
 
     def step(self, seq: int) -> Step:
         for candidate in self.steps:
@@ -97,9 +122,10 @@ class Program:
         return tuple(s for s in self.steps if s.cursor == cursor_seq)
 
     def describe(self) -> str:
+        rooting = f", {self.roots} roots" if self.roots > 1 else ""
         header = (
             f"program #{self.index} (domain={self.domain}, seed={self.seed}, "
-            f"{len(self.steps)} steps, {self.segments} segment(s))"
+            f"{len(self.steps)} steps, {self.segments} segment(s){rooting})"
         )
         lines = [header] + ["  " + step.describe() for step in self.steps]
         return "\n".join(lines)
@@ -120,7 +146,8 @@ class Program:
                 needs = {step.target} | {r.seq for r in step.arg_regs()}
                 if step.cursor:
                     needs.add(step.cursor)
-                needs.discard(ROOT_REG)
+                # Root registers (0, -1, ...) are never doomed.
+                needs = {need for need in needs if need > ROOT_REG}
                 if needs & doomed:
                     doomed.add(step.seq)
                     changed = True
@@ -161,7 +188,9 @@ def validate_program(program: Program) -> None:
     the executable statement of what "valid" means (and a unit-test
     oracle for both).
     """
-    seen = {ROOT_REG: "remote"}
+    if program.roots < 1:
+        raise ValueError(f"a program needs at least one root: {program.roots}")
+    seen = {reg: "remote" for reg in program.root_regs}
     segment = 0
     previous_seq = 0
     open_cursor = 0

@@ -107,6 +107,9 @@ class FuzzConfig:
     max_divergences: int = 3
     faults: bool = False
     fault_rate: float = 0.12
+    #: Shard count: > 1 routes the corpus through the sharded cluster
+    #: matrix of :func:`repro.fuzz.cluster.run_cluster_corpus`.
+    shards: int = 1
 
 
 @dataclass

@@ -184,13 +184,15 @@ class RMICore(MarshalContext):
     :meth:`set_charge_sink`.
     """
 
-    def __init__(self, network, address: str, plan_capacity: int = None):
+    def __init__(self, network, address: str, plan_capacity: int = None,
+                 shard: str = "", shard_home=None):
         self._network = network
         self._address = address
         self._plan_capacity = plan_capacity
+        self._shard = shard
         self.host = host_of(address)
-        self._objects = ObjectTable(address)
-        self._registry = RegistryImpl()
+        self._objects = ObjectTable(address, shard=shard)
+        self._registry = RegistryImpl(shard=shard, home_of=shard_home)
         self._loopback_clients = {}
         self._batch_executor = None
         self._plan_runtime = None
@@ -206,6 +208,11 @@ class RMICore(MarshalContext):
     @property
     def address(self) -> str:
         return self._address
+
+    @property
+    def shard(self) -> str:
+        """This server's cluster placement label (``""`` standalone)."""
+        return self._shard
 
     @property
     def registry(self) -> RegistryImpl:

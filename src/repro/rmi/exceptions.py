@@ -64,6 +64,30 @@ class NoSuchObjectError(RemoteError):
 
 
 @register_exception
+class WrongShardError(RemoteError):
+    """A request reached a cluster server that does not own its placement.
+
+    Every sharded server knows its own placement label; a registry
+    request for a name whose :class:`~repro.cluster.ShardMap` home is a
+    different shard is a routing bug and must fail loudly — silently
+    dispatching to whatever object happens to occupy the local slot
+    would return wrong answers, not errors.
+    """
+
+    def __init__(self, name, shard, expected):
+        self.name = name
+        self.shard = shard
+        self.expected = expected
+        super().__init__(name, shard, expected)
+
+    def __str__(self):
+        return (
+            f"{self.name!r} is placed on shard {self.expected!r}; "
+            f"this server is shard {self.shard!r}"
+        )
+
+
+@register_exception
 class NoSuchMethodError(RemoteError):
     """The request named a method the target's remote interfaces lack.
 

@@ -18,8 +18,9 @@ from repro.wire.refs import RemoteRef
 class ObjectTable:
     """Thread-safe id ↔ object mapping for one server."""
 
-    def __init__(self, endpoint: str):
+    def __init__(self, endpoint: str, shard: str = ""):
         self._endpoint = endpoint
+        self._shard = shard  # stamped into every minted ref in a cluster
         self._lock = threading.Lock()
         self._by_id = {}
         self._by_identity = {}  # id(obj) -> (object_id, obj); obj kept alive
@@ -51,7 +52,8 @@ class ObjectTable:
                 self._next_id += 1
                 self._by_id[object_id] = obj
                 self._by_identity[id(obj)] = (object_id, obj)
-            ref = RemoteRef(self._endpoint, object_id, names)
+            ref = RemoteRef(self._endpoint, object_id, names,
+                            shard=self._shard)
             obj._exported_ref = ref
             return ref
 
@@ -73,7 +75,8 @@ class ObjectTable:
             raise NotExportedError(
                 f"{type(obj).__name__} instance was never exported"
             )
-        return RemoteRef(self._endpoint, entry[0], interface_names(obj))
+        return RemoteRef(self._endpoint, entry[0], interface_names(obj),
+                         shard=self._shard)
 
     def is_exported(self, obj) -> bool:
         """Whether *obj* currently has a table entry."""

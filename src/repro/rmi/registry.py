@@ -15,7 +15,7 @@ from __future__ import annotations
 import threading
 from typing import List
 
-from repro.rmi.exceptions import AlreadyBoundError, NotBoundError
+from repro.rmi.exceptions import AlreadyBoundError, NotBoundError, WrongShardError
 from repro.rmi.remote import RemoteInterface, RemoteObject
 
 
@@ -24,6 +24,10 @@ class NamingRegistry(RemoteInterface):
 
     def lookup(self, name: str) -> RemoteInterface:
         """Return the remote object bound under *name*."""
+        ...
+
+    def shard_info(self) -> str:
+        """The serving shard's placement label (``"i/N"``; ``""`` standalone)."""
         ...
 
     def bind(self, name: str, target: RemoteInterface) -> None:
@@ -44,13 +48,33 @@ class NamingRegistry(RemoteInterface):
 
 
 class RegistryImpl(RemoteObject, NamingRegistry):
-    """In-memory, thread-safe implementation hosted by every server."""
+    """In-memory, thread-safe implementation hosted by every server.
 
-    def __init__(self):
+    In a cluster the server passes its placement label (*shard*) and the
+    cluster's name→label placement function (*home_of*): any request for
+    a name this shard does not own raises a typed
+    :class:`~repro.rmi.exceptions.WrongShardError` instead of resolving
+    (or binding) a foreign name locally.
+    """
+
+    def __init__(self, shard: str = "", home_of=None):
         self._lock = threading.Lock()
         self._bindings = {}
+        self._shard = shard
+        self._home_of = home_of
+
+    def shard_info(self) -> str:
+        return self._shard
+
+    def _check_home(self, name):
+        if self._home_of is None:
+            return
+        expected = self._home_of(name)
+        if expected != self._shard:
+            raise WrongShardError(name, self._shard, expected)
 
     def lookup(self, name: str) -> RemoteInterface:
+        self._check_home(name)
         with self._lock:
             if name not in self._bindings:
                 raise NotBoundError(name)
@@ -58,6 +82,7 @@ class RegistryImpl(RemoteObject, NamingRegistry):
 
     def bind(self, name: str, target: RemoteInterface) -> None:
         self._validate(name, target)
+        self._check_home(name)
         with self._lock:
             if name in self._bindings:
                 raise AlreadyBoundError(name)
@@ -65,10 +90,12 @@ class RegistryImpl(RemoteObject, NamingRegistry):
 
     def rebind(self, name: str, target: RemoteInterface) -> None:
         self._validate(name, target)
+        self._check_home(name)
         with self._lock:
             self._bindings[name] = target
 
     def unbind(self, name: str) -> None:
+        self._check_home(name)
         with self._lock:
             if name not in self._bindings:
                 raise NotBoundError(name)

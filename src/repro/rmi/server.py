@@ -25,8 +25,10 @@ from repro.rmi.dispatch import RMICore
 class RMIServer(RMICore):
     """One exported-object space reachable at one address."""
 
-    def __init__(self, network, address: str, plan_capacity: int = None):
-        super().__init__(network, address, plan_capacity)
+    def __init__(self, network, address: str, plan_capacity: int = None,
+                 shard: str = "", shard_home=None):
+        super().__init__(network, address, plan_capacity,
+                         shard=shard, shard_home=shard_home)
         self._listener = None
         self._last_listener = None
         self._lifecycle_lock = threading.Lock()

@@ -41,6 +41,7 @@ from repro.wire.encoder import (
     TAG_NONE,
     TAG_OBJECT,
     TAG_REMOTE_REF,
+    TAG_SHARDED_REF,
     TAG_SET,
     TAG_STR,
     TAG_TRUE,
@@ -420,6 +421,17 @@ def _decode_remote_ref(dec, depth):
     return RemoteRef(endpoint, object_id, interfaces)
 
 
+def _decode_sharded_ref(dec, depth):
+    endpoint = dec._expect_str(depth)
+    object_id = dec._decode(depth + 1)
+    interfaces = dec._decode(depth + 1)
+    shard = dec._decode(depth + 1)
+    if (not isinstance(object_id, int) or not isinstance(interfaces, tuple)
+            or not isinstance(shard, str)):
+        raise DecodeError("malformed sharded remote reference payload")
+    return RemoteRef(endpoint, object_id, interfaces, shard=shard)
+
+
 _INT64_TAG = TAG_INT64[0]
 _STR_TAG = TAG_STR[0]
 _DICT_TAG = TAG_DICT[0]
@@ -441,6 +453,7 @@ _JUMP = {
     TAG_OBJECT[0]: _decode_object,
     TAG_EXCEPTION[0]: _decode_exception,
     TAG_REMOTE_REF[0]: _decode_remote_ref,
+    TAG_SHARDED_REF[0]: _decode_sharded_ref,
 }
 
 

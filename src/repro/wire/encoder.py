@@ -61,6 +61,7 @@ TAG_FROZENSET = b"G"
 TAG_OBJECT = b"O"
 TAG_EXCEPTION = b"X"
 TAG_REMOTE_REF = b"R"
+TAG_SHARDED_REF = b"r"
 
 _INT64_MIN = -(2**63)
 _INT64_MAX = 2**63 - 1
@@ -277,11 +278,16 @@ def _encode_set_items(buf, tag, hdrs, value, depth):
 
 
 def _encode_remote_ref(buf, ref, depth):
-    buf += TAG_REMOTE_REF
+    # Shard-less refs keep the frozen 3-field "R" layout byte for byte;
+    # a shard label selects the 4-field "r" variant instead of growing
+    # the old tag (its field list has no length prefix to extend).
+    buf += TAG_SHARDED_REF if ref.shard else TAG_REMOTE_REF
     depth += 1
     _encode_value(buf, ref.endpoint, depth)
     _encode_value(buf, ref.object_id, depth)
     _encode_value(buf, ref.interfaces, depth)
+    if ref.shard:
+        _encode_value(buf, ref.shard, depth)
 
 
 def _pre_encode_str(value: str) -> bytes:

@@ -13,7 +13,7 @@ on the middleware above it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Tuple
 
 
@@ -24,17 +24,26 @@ class RemoteRef:
     Two refs are equal when they name the same slot of the same server,
     which is also how stub equality is defined (mirroring Java RMI, where
     stubs compare equal by remote identity, not by proxy identity).
+
+    ``shard`` is the cluster-placement label of the server that minted
+    the ref (``"i/N"``), or ``""`` outside a cluster.  It is advisory
+    routing metadata — the endpoint already pins the home server — so it
+    is excluded from equality, and refs without it encode byte-identically
+    to the pre-cluster wire format.
     """
 
     endpoint: str
     object_id: int
     interfaces: Tuple[str, ...] = ()
+    shard: str = field(default="", compare=False)
 
     def __post_init__(self):
         if not isinstance(self.object_id, int) or self.object_id < 0:
             raise ValueError(f"object_id must be a non-negative int: {self.object_id!r}")
         if not isinstance(self.endpoint, str) or not self.endpoint:
             raise ValueError("endpoint must be a non-empty string")
+        if not isinstance(self.shard, str):
+            raise ValueError("shard must be a string label")
         object.__setattr__(self, "interfaces", tuple(self.interfaces))
 
     def provides(self, interface_name: str) -> bool:

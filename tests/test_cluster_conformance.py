@@ -1,0 +1,270 @@
+"""Cluster conformance: the sharded scatter-gather path is observably
+identical to the paper's single-server semantics.
+
+Three pins, mirroring the ISSUE acceptance criteria:
+
+- a **1-shard cluster is the single-server path exactly** — same
+  per-step outcomes, same cursor geometry, same post-state, and the
+  same number of round trips, for the existing single-root corpus;
+- **multi-shard runs match the sharded naive-RMI oracle** with zero
+  divergences across seeds, shard counts, policies, sim and TCP
+  transports, and both execution modes (one-shot batch and
+  plan-reusing batch);
+- a **hand-written split-point program** pins the cross-shard argument
+  semantics to concrete values (the fallback executes a real nested
+  call, never a wrong answer).
+"""
+
+import pytest
+
+from repro.core.policies import AbortPolicy, ContinuePolicy
+from repro.fuzz.cluster import (
+    ClusterWorld,
+    count_cross_chain,
+    generate_cluster_program,
+    run_cluster_batched,
+    run_cluster_corpus,
+    run_cluster_oracle,
+    validate_cluster_program,
+    _cluster_requests,
+)
+from repro.fuzz.execute import compare_runs, run_batched, run_oracle
+from repro.fuzz.generate import generate_program, policies_for
+from repro.fuzz.program import Program, Reg, Step, validate_program
+from repro.fuzz.runner import FuzzConfig, World
+
+PROGRAMS_PER_SEED = 4
+
+
+# -- 1-shard cluster == single server, exactly --------------------------------
+
+
+def test_one_shard_cluster_is_single_server_exactly():
+    """Outcome-for-outcome AND round-trip-for-round-trip identical."""
+    single = World("lan")
+    cluster_world = ClusterWorld("lan", shards=1)
+    try:
+        single_client = single.fresh_client()
+        cluster = cluster_world.fresh_cluster()
+        checked = 0
+        for index in range(6):
+            program = generate_program(0, index, max_steps=12)
+            for policy_name, policy in policies_for(program).items():
+                name, reader = single.bind_fresh(program.domain)
+                stub = single_client.lookup(name)
+                expected = run_batched(program, stub, policy)
+                expected.post_state = (reader(),)
+
+                names, readers = cluster_world.bind_roots(program)
+                stubs = {0: cluster.lookup(names[0])}
+                got = run_cluster_batched(program, cluster, stubs, policy)
+                got.post_state = cluster_world.post_state(program, readers)
+
+                diffs = compare_runs(expected, got, check_traffic=False)
+                assert not diffs, (
+                    f"#{index}/{policy_name}: {diffs}\n{program.describe()}"
+                )
+                # The strongest claim: the exact same number of round
+                # trips, not just the batch traffic bound.
+                assert got.requests == expected.requests, (
+                    f"#{index}/{policy_name}: 1-shard cluster used "
+                    f"{got.requests} requests, single server "
+                    f"{expected.requests}"
+                )
+                checked += 1
+        assert checked >= 20
+    finally:
+        cluster_world.close()
+        single.close()
+
+
+# -- multi-shard corpora: zero divergences ------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_multi_shard_sim_corpus_matches_oracle(seed):
+    config = FuzzConfig(
+        seed=seed, programs=PROGRAMS_PER_SEED, shards=2,
+        transports=("lan",), shrink=False,
+    )
+    report = run_cluster_corpus(config)
+    assert report.ok, "\n\n".join(d.describe() for d in report.divergences)
+    assert report.programs == PROGRAMS_PER_SEED
+    assert report.runs > 0
+
+
+def test_three_shard_sim_corpus_matches_oracle():
+    config = FuzzConfig(
+        seed=0, programs=PROGRAMS_PER_SEED, shards=3,
+        transports=("lan",), shrink=False,
+    )
+    report = run_cluster_corpus(config)
+    assert report.ok, "\n\n".join(d.describe() for d in report.divergences)
+    # The corpus must actually exercise split points and plan reuse.
+    assert report.coverage["cross_chain_steps"] > 0
+    assert report.coverage["plan_invocations"] > 0
+    assert report.coverage["plan_cache_hits"] > 0
+
+
+def test_multi_shard_tcp_corpus_matches_oracle():
+    config = FuzzConfig(
+        seed=1, programs=3, shards=2, transports=("tcp",),
+        policies=("abort", "continue"), shrink=False,
+    )
+    report = run_cluster_corpus(config)
+    assert report.ok, "\n\n".join(d.describe() for d in report.divergences)
+
+
+def test_cluster_corpus_programs_always_have_cross_chain_coverage():
+    """Across a whole corpus, split points appear (and validate)."""
+    total = 0
+    for index in range(12):
+        program = generate_cluster_program(0, index, roots=3)
+        validate_program(program)
+        validate_cluster_program(program)
+        total += count_cross_chain(program)
+    assert total > 0
+
+
+# -- the split point, pinned to concrete values -------------------------------
+
+
+def _split_program() -> Program:
+    """Two bank chains; chain 1 consumes chain 0's card across shards."""
+    steps = (
+        Step(seq=1, target=0, method="create_credit_account",
+             args=("dana",), kind="remote", result_iface="card"),
+        Step(seq=2, target=1, method="make_purchase", args=(75.0,)),
+        # New segment: the cross-chain consumer reads while the
+        # producer chain stays stepless (the oracle invariant).
+        Step(seq=3, target=-1, method="credit_line_of", args=(Reg(1),),
+             segment=1),
+        # Later segments may mutate the producer again freely.
+        Step(seq=4, target=0, method="credit_line_of", args=(Reg(1),),
+             segment=2),
+        Step(seq=5, target=1, method="make_purchase", args=(100.0,),
+             segment=2),
+    )
+    program = Program(domain="bank+bank", steps=steps, roots=2)
+    validate_program(program)
+    validate_cluster_program(program)
+    return program
+
+
+def test_split_point_values_and_post_state():
+    program = _split_program()
+    world = ClusterWorld("lan", shards=2)
+    try:
+        cluster = world.fresh_cluster()
+        names, readers = world.bind_roots(program)
+        stubs = {reg: cluster.lookup(name) for reg, name in names.items()}
+        result = run_cluster_batched(
+            program, cluster, stubs, AbortPolicy()
+        )
+        # 1000 limit - 75 purchase = 925, read across shards (r3) and
+        # locally one segment later (r4); the final purchase lands last.
+        assert result.outcomes[3].value == 925.0
+        assert result.outcomes[4].value == 925.0
+        assert result.outcomes[5].status == "ok"
+        post = world.post_state(program, readers)
+        assert post[0]["dana"] == (175.0, 1000.0)
+
+        # And the oracle agrees wholesale.
+        names, readers = world.bind_roots(program)
+        stubs = {reg: cluster.lookup(name) for reg, name in names.items()}
+        oracle = run_cluster_oracle(
+            program, stubs, AbortPolicy(),
+            request_count=lambda: _cluster_requests(cluster),
+        )
+        oracle.post_state = world.post_state(program, readers)
+        result.post_state = post
+        assert not compare_runs(oracle, result, check_traffic=False)
+    finally:
+        world.close()
+
+
+def test_validator_rejects_producer_steps_in_consumer_segment():
+    """The shape the oracle cannot model: shard sub-batches of one
+    segment flush in unspecified order, so a producer-chain mutation in
+    the consumer's segment may execute before or after the cross-shard
+    read.  The generator never emits it; the validator must refuse it
+    (on either side of the consumer)."""
+    for producer_seq in (3, 5):
+        steps = (
+            Step(seq=1, target=0, method="create_credit_account",
+                 args=("dana",), kind="remote", result_iface="card"),
+            Step(seq=2, target=1, method="make_purchase", args=(75.0,)),
+            Step(seq=3, target=1 if producer_seq == 3 else -1,
+                 method="make_purchase" if producer_seq == 3
+                 else "credit_line_of",
+                 args=(50.0,) if producer_seq == 3 else (Reg(1),),
+                 segment=1),
+            Step(seq=4, target=-1 if producer_seq == 3 else 1,
+                 method="credit_line_of" if producer_seq == 3
+                 else "make_purchase",
+                 args=(Reg(1),) if producer_seq == 3 else (50.0,),
+                 segment=1),
+        )
+        program = Program(domain="bank+bank", steps=steps, roots=2)
+        validate_program(program)
+        with pytest.raises(ValueError, match="also records"):
+            validate_cluster_program(program)
+
+
+def test_failed_register_kills_cross_chain_consumer_at_record_time():
+    """Exporting a dead register propagates its verdict, not a crash."""
+    steps = (
+        Step(seq=1, target=0, method="find_credit_account",
+             args=("mallory",), kind="remote", result_iface="card"),
+        Step(seq=2, target=-1, method="credit_line_of", args=(Reg(1),),
+             segment=1),
+        Step(seq=3, target=-1, method="credit_line_of",
+             args=(Reg(1),), segment=1),
+    )
+    program = Program(domain="bank+bank", steps=steps, roots=2)
+    validate_program(program)
+    validate_cluster_program(program)
+    world = ClusterWorld("lan", shards=2)
+    try:
+        cluster = world.fresh_cluster()
+        for policy in (AbortPolicy(), ContinuePolicy()):
+            names, readers = world.bind_roots(program)
+            stubs = {reg: cluster.lookup(name)
+                     for reg, name in names.items()}
+            result = run_cluster_batched(program, cluster, stubs, policy)
+            assert result.outcomes[1].status == "raise"
+            assert "AccountNotFound" in result.outcomes[1].error
+            assert result.outcomes[2] == result.outcomes[1]
+            assert result.outcomes[3] == result.outcomes[1]
+
+            names, readers = world.bind_roots(program)
+            stubs = {reg: cluster.lookup(name)
+                     for reg, name in names.items()}
+            oracle = run_cluster_oracle(program, stubs, policy)
+            assert not compare_runs(oracle, result, check_traffic=False)
+    finally:
+        world.close()
+
+
+def test_cursor_state_cannot_cross_shards():
+    """Passing a cursor (or element proxy) across chains is a typed error."""
+    from repro.core.errors import UnsupportedBatchOperationError
+
+    world = ClusterWorld("lan", shards=2)
+    try:
+        cluster = world.fresh_cluster()
+        program = Program(
+            domain="fileserver+bank",
+            steps=(Step(seq=1, target=0, method="list_files",
+                        kind="cursor", result_iface="file"),),
+            roots=2,
+        )
+        names, _ = world.bind_roots(program)
+        batch = cluster.create_batch()
+        fs = batch.on(cluster.lookup(names[0]))
+        bank = batch.on(cluster.lookup(names[-1]))
+        cursor = fs.list_files()
+        with pytest.raises(UnsupportedBatchOperationError):
+            bank.credit_line_of(cursor)
+    finally:
+        world.close()

@@ -1,0 +1,134 @@
+"""Golden placement and wire tests: shard identity is frozen.
+
+Placement must be stable across processes, platforms, and interpreter
+restarts — a ``hash()``-based map would scatter the same name across
+different shards in different processes (PYTHONHASHSEED randomizes
+string hashes per process), which is exactly the cross-process split
+brain the sha256 digest prevents.  The canned values below were
+captured once; any drift is a placement break that would strand every
+already-stamped ref and every already-bound name.
+
+The sharded-ref wire tag rides along: a ref with a shard label encodes
+under the new ``r`` tag with the label appended, while a label-free ref
+must keep producing the exact pre-cluster ``R`` bytes (golden-pinned in
+``tests/test_wire_golden.py`` too).
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cluster import ShardMap, parse_shard_label, shard_label
+from repro.wire import decode, encode
+from repro.wire.refs import RemoteRef
+
+#: name -> (sha256-based 64-bit digest, shard of 2, shard of 3, shard of 5).
+#: Captured from the first cluster build; process-invariant forever.
+GOLDEN_PLACEMENT = {
+    "bank": (4864411148457510166, 0, 1, 1),
+    "load": (934074466126563015, 1, 0, 0),
+    "alice": (3159282601090220207, 1, 2, 2),
+    "fileserver-7": (17457328978340464080, 0, 0, 0),
+    "svc0": (4273484265395671610, 0, 2, 0),
+    "svc1": (6886879742144018608, 0, 1, 3),
+    "svc2": (2647179046327330156, 0, 1, 1),
+}
+
+#: RemoteRef("sim://h:1", 42, ("a.B", "c.D"), shard="1/3") under the new
+#: TAG_SHARDED_REF ("r") encoding: the plain-ref payload plus the label.
+GOLDEN_SHARDED_REF = (
+    "72530000000973696d3a2f2f683a3149000000000000002a55000000025300000003"
+    "612e425300000003632e445300000003312f33"
+)
+
+#: The same ref without a label must stay byte-identical to the
+#: pre-cluster "R" encoding.
+GOLDEN_PLAIN_REF = (
+    "52530000000973696d3a2f2f683a3149000000000000002a55000000025300000003"
+    "612e425300000003632e44"
+)
+
+
+def test_golden_digests_and_placement():
+    for name, (digest, of2, of3, of5) in GOLDEN_PLACEMENT.items():
+        assert ShardMap.digest_of(name) == digest, name
+        assert ShardMap(2).index_of(name) == of2, name
+        assert ShardMap(3).index_of(name) == of3, name
+        assert ShardMap(5).index_of(name) == of5, name
+
+
+def test_placement_survives_hash_randomization():
+    """A subprocess with a different PYTHONHASHSEED places identically."""
+    import pathlib
+
+    import repro
+
+    src = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+    code = (
+        f"import sys; sys.path.insert(0, {src!r})\n"
+        "from repro.cluster import ShardMap\n"
+        "print(ShardMap.digest_of('bank'), ShardMap(3).index_of('alice'))\n"
+    )
+    for seed in ("0", "1", "random"):
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+            capture_output=True, text=True, check=True,
+        ).stdout.split()
+        assert int(out[0]) == GOLDEN_PLACEMENT["bank"][0]
+        assert int(out[1]) == GOLDEN_PLACEMENT["alice"][2]
+
+
+def test_labels_roundtrip():
+    assert shard_label(1, 3) == "1/3"
+    assert parse_shard_label("1/3") == (1, 3)
+    assert ShardMap(3).labels == ("0/3", "1/3", "2/3")
+    assert ShardMap(3).label_of("alice") == "2/3"
+    with pytest.raises(ValueError):
+        parse_shard_label("3/3")
+    with pytest.raises(ValueError):
+        parse_shard_label("x/y")
+    with pytest.raises(ValueError):
+        parse_shard_label("2")
+
+
+def test_homed_names_land_on_their_shard():
+    shard_map = ShardMap(3)
+    names = [shard_map.homed_name("load", index) for index in range(3)]
+    assert len(set(names)) == 3
+    assert names[shard_map.index_of("load")] == "load"  # bare name kept
+    for index, name in enumerate(names):
+        assert shard_map.index_of(name) == index
+    with pytest.raises(ValueError):
+        shard_map.homed_name("load", 3)
+
+
+def test_shard_map_validation():
+    with pytest.raises(ValueError):
+        ShardMap(0)
+    with pytest.raises(TypeError):
+        ShardMap(2).index_of(42)
+
+
+def test_golden_sharded_ref_bytes():
+    ref = RemoteRef("sim://h:1", 42, ("a.B", "c.D"), shard="1/3")
+    assert encode(ref).hex() == GOLDEN_SHARDED_REF
+    decoded = decode(bytes.fromhex(GOLDEN_SHARDED_REF))
+    assert decoded == ref
+    assert decoded.shard == "1/3"
+
+
+def test_label_free_ref_bytes_unchanged():
+    """No shard label -> the exact pre-cluster 'R' encoding."""
+    ref = RemoteRef("sim://h:1", 42, ("a.B", "c.D"))
+    assert encode(ref).hex() == GOLDEN_PLAIN_REF
+    assert decode(bytes.fromhex(GOLDEN_PLAIN_REF)) == ref
+
+
+def test_shard_label_excluded_from_identity():
+    """The §4.4 identity rule ignores the advisory shard stamp."""
+    plain = RemoteRef("sim://h:1", 42, ("a.B",))
+    stamped = RemoteRef("sim://h:1", 42, ("a.B",), shard="0/2")
+    assert plain == stamped
+    assert hash(plain) == hash(stamped)
