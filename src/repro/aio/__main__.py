@@ -226,6 +226,7 @@ def _serve(args) -> int:
     server = RMIServer(
         network, f"tcp://127.0.0.1:{args.port}",
         shard=shard, shard_home=shard_home,
+        exec_workers=args.exec_workers,
     ).start()
     service_name = SERVICE_NAME
     if shard:
@@ -297,6 +298,7 @@ def _serve_procs(args) -> int:
     supervisor = Supervisor(
         procs=args.procs, transport=args.transport, port=args.port,
         workers=args.workers, queue_depth=args.queue_depth,
+        exec_workers=args.exec_workers,
         metrics_dir=args.procs_metrics_dir or None,
         admin=_admin_port(args) if _admin_port(args) is not None else False,
     ).start()
@@ -391,6 +393,11 @@ def main(argv=None) -> int:
     serve.add_argument("--port", type=int, default=0)
     serve.add_argument("--workers", type=int, default=64)
     serve.add_argument("--queue-depth", type=int, default=256)
+    serve.add_argument("--exec-workers", type=int, default=None,
+                       metavar="N",
+                       help="DAG-scheduler pool for parallel batch "
+                            "execution: unset = shared default pool, "
+                            "0 = serial only, N = private pool of N")
     serve.add_argument("--procs", type=int, default=1,
                        help="worker processes sharing the port via "
                             "SO_REUSEPORT (default 1: serve in-process)")

@@ -25,7 +25,7 @@ import time
 from dataclasses import dataclass
 
 from repro.core import create_batch
-from repro.rmi import RemoteInterface, RemoteObject, RMIClient
+from repro.rmi import RemoteInterface, RemoteObject, RMIClient, remote_method
 from repro.rmi.exceptions import ServerBusyError
 
 #: Registry name the harness expects the workload bound under.
@@ -33,12 +33,19 @@ SERVICE_NAME = "load"
 
 
 class LoadTarget(RemoteInterface):
-    """The benchmark workload surface."""
+    """The benchmark workload surface.
 
+    Both methods are ``parallel_safe``: the impl counts under a lock, so
+    a fan-out batch of ``work`` calls is exactly the delay-bound workload
+    the DAG scheduler's ``exec_parallel`` bench lane measures.
+    """
+
+    @remote_method(parallel_safe=True)
     def work(self, delay: float) -> int:
         """Simulate one backend touch taking *delay* seconds."""
         ...
 
+    @remote_method(parallel_safe=True)
     def total(self) -> int:
         """How many work calls this target has executed."""
         ...

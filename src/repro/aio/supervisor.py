@@ -85,6 +85,7 @@ class Supervisor:
                  host: str = "127.0.0.1", port: int = 0,
                  workers: int = DEFAULT_MAX_WORKERS,
                  queue_depth: int = DEFAULT_QUEUE_DEPTH,
+                 exec_workers: int = None,
                  metrics_dir=None, start_timeout: float = DEFAULT_START_TIMEOUT,
                  force_single_acceptor: bool = False, admin: bool = False):
         if procs < 1:
@@ -95,6 +96,7 @@ class Supervisor:
         self._port = port
         self._workers = workers
         self._queue_depth = queue_depth
+        self._exec_workers = exec_workers
         self._start_timeout = start_timeout
         self._reuseport = HAS_REUSEPORT and not force_single_acceptor
         self._procs = procs if self._reuseport else 1
@@ -220,6 +222,8 @@ class Supervisor:
             "--queue-depth", str(self._queue_depth),
             "--metrics-json", metrics_template,
         ]
+        if self._exec_workers is not None:
+            cmd.extend(["--exec-workers", str(self._exec_workers)])
         if self._reuseport:
             cmd.append("--reuseport")
         if self._admin_on:

@@ -12,7 +12,7 @@ from __future__ import annotations
 import threading
 
 from repro.core import CustomPolicy, ExceptionAction, create_batch
-from repro.rmi import RemoteInterface, RemoteObject
+from repro.rmi import RemoteInterface, RemoteObject, remote_method
 from repro.wire.registry import register_exception
 
 
@@ -32,8 +32,14 @@ class InsufficientCreditError(Exception):
 
 
 class CreditCard(RemoteInterface):
-    """One customer's revolving credit account."""
+    """One customer's revolving credit account.
 
+    Only the read path is ``parallel_safe``: purchases and payments are
+    lock-correct but their *order* is observable through the balance, so
+    they stay on the serial replay path.
+    """
+
+    @remote_method(parallel_safe=True)
     def get_credit_line(self) -> float:
         """Remaining credit."""
         ...
@@ -63,10 +69,12 @@ class CreditManager(RemoteInterface):
         """Open an account; DuplicateAccountException if one exists."""
         ...
 
+    @remote_method(parallel_safe=True)
     def find_credit_account(self, customer: str) -> CreditCard:
         """Find an account; AccountNotFoundException if none."""
         ...
 
+    @remote_method(parallel_safe=True)
     def credit_line_of(self, card: CreditCard) -> float:
         """Remaining credit of a card passed back by remote reference.
 

@@ -14,10 +14,11 @@ disk access tainting the results" (§5.4).
 from __future__ import annotations
 
 import random
+import threading
 from typing import List
 
 from repro.core import create_batch
-from repro.rmi import RemoteInterface, RemoteObject
+from repro.rmi import RemoteInterface, RemoteObject, remote_method
 from repro.wire.registry import register_exception
 
 
@@ -27,32 +28,44 @@ class AccessDeniedError(Exception):
 
 
 class RemoteFile(RemoteInterface):
-    """One file or directory on the remote file system."""
+    """One file or directory on the remote file system.
 
+    Every read path is declared ``parallel_safe`` for the DAG scheduler:
+    the facade cache is the only shared mutable state they touch and it
+    has its own lock.  ``delete`` mutates the tree and stays serial.
+    """
+
+    @remote_method(parallel_safe=True)
     def get_name(self) -> str:
         """Base name of this entry."""
         ...
 
+    @remote_method(parallel_safe=True)
     def is_directory(self) -> bool:
         """Whether this entry is a directory."""
         ...
 
+    @remote_method(parallel_safe=True)
     def last_modified(self) -> int:
         """Modification time (epoch seconds)."""
         ...
 
+    @remote_method(parallel_safe=True)
     def length(self) -> int:
         """Content size in bytes (0 for directories)."""
         ...
 
+    @remote_method(parallel_safe=True)
     def read_contents(self) -> bytes:
         """The file's bytes; AccessDeniedError if restricted."""
         ...
 
+    @remote_method(parallel_safe=True)
     def get_file(self, name: str) -> "RemoteFile":
         """Child entry by name; FileNotFoundError if absent."""
         ...
 
+    @remote_method(parallel_safe=True)
     def list_files(self) -> List["RemoteFile"]:
         """All children of this directory, in name order."""
         ...
@@ -144,11 +157,16 @@ class RemoteFileImpl(RemoteObject, RemoteFile):
 
 #: id(node) -> facade; keeps one remote object per file-system node.
 node_facade_cache: dict = {}
+_facade_lock = threading.Lock()
 
 
 def _facade(node: FileNode) -> RemoteFileImpl:
-    facade = node_facade_cache.get(id(node))
-    return facade if facade is not None else RemoteFileImpl(node)
+    # Locked get-or-create: concurrent cursor elements navigating into
+    # the same node must agree on one facade, or remote-reference
+    # identity (§4.4) would depend on scheduling.
+    with _facade_lock:
+        facade = node_facade_cache.get(id(node))
+        return facade if facade is not None else RemoteFileImpl(node)
 
 
 def make_tree(depth: int, fanout: int, files_per_dir: int = 3,

@@ -6,26 +6,36 @@ one round trip per call, BRMI pays one per batch.
 
 from __future__ import annotations
 
+import threading
+
 from repro.core import create_batch
-from repro.rmi import RemoteInterface, RemoteObject
+from repro.rmi import RemoteInterface, RemoteObject, remote_method
 
 
 class NoOpService(RemoteInterface):
     """A remote method that takes nothing and returns nothing."""
 
+    @remote_method(parallel_safe=True)
     def noop(self) -> None:
         """Do nothing, remotely."""
         ...
 
 
 class NoOpImpl(RemoteObject, NoOpService):
-    """Counts invocations so tests can verify delivery."""
+    """Counts invocations so tests can verify delivery.
+
+    The counter is locked: ``noop`` is declared ``parallel_safe``, so
+    the DAG scheduler may run many of them at once and an unguarded
+    ``+=`` would drop counts.
+    """
 
     def __init__(self):
         self.calls = 0
+        self._lock = threading.Lock()
 
     def noop(self) -> None:
-        self.calls += 1
+        with self._lock:
+            self.calls += 1
 
 
 def run_noop_rmi(stub, calls: int) -> int:

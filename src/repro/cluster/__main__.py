@@ -60,6 +60,7 @@ def _serve(args) -> int:
     supervisor = ClusterSupervisor(
         shards=args.shards, transport=args.transport,
         workers=args.workers, queue_depth=args.queue_depth,
+        exec_workers=args.exec_workers,
         metrics_dir=args.metrics_dir or None,
         admin=admin,
     ).start()
@@ -99,6 +100,11 @@ def main(argv=None) -> int:
     serve.add_argument("--transport", default="aio", choices=("aio", "tcp"))
     serve.add_argument("--workers", type=int, default=64,
                        help="worker pool size per shard")
+    serve.add_argument("--exec-workers", type=int, default=None,
+                       metavar="N",
+                       help="per-shard DAG-scheduler pool for parallel batch "
+                            "execution: unset = shared default pool, "
+                            "0 = serial only, N = private pool of N")
     serve.add_argument("--queue-depth", type=int, default=256,
                        help="admission queue depth per shard")
     serve.add_argument("--admin-port", default=None, metavar="PORT",

@@ -56,7 +56,8 @@ class ClusterSupervisor:
 
     def __init__(self, *, shards: int, transport: str = "aio",
                  host: str = "127.0.0.1", workers: int = 64,
-                 queue_depth: int = 256, metrics_dir=None,
+                 queue_depth: int = 256, exec_workers: int = None,
+                 metrics_dir=None,
                  start_timeout: float = DEFAULT_START_TIMEOUT,
                  admin: bool = False):
         if shards < 1:
@@ -67,6 +68,7 @@ class ClusterSupervisor:
         self._host = host
         self._workers = workers
         self._queue_depth = queue_depth
+        self._exec_workers = exec_workers
         self._start_timeout = start_timeout
         self._metrics_dir = metrics_dir
         self._own_metrics_dir = metrics_dir is None
@@ -182,6 +184,8 @@ class ClusterSupervisor:
             "--shard", shard_label(index, self._shards),
             "--metrics-json", metrics_template,
         ]
+        if self._exec_workers is not None:
+            cmd.extend(["--exec-workers", str(self._exec_workers)])
         if self._admin_on:
             cmd.extend(["--admin-port", "0"])
         env = dict(os.environ)

@@ -1,0 +1,204 @@
+"""Dependency-DAG analysis for the parallel batch scheduler.
+
+A recorded batch is a DAG the client already serialized: every op names
+its inputs as :class:`~repro.core.recording.ArgRef` edges (target +
+arguments).  :func:`analyze_batch` partitions the ops into *units* (one
+top-level op, or a cursor together with its contiguous sub-batch) and
+groups units into *chains* — connected components of the ArgRef graph,
+with the batch root (seq 0) excluded as a shared source.  Chains never
+exchange data, so a CONTINUE-kind policy makes their relative replay
+order unobservable and the executor may run them concurrently.
+
+Eligibility is conservative and the serial path always remains available:
+
+- the policy must be CONTINUE-kind (:func:`~repro.core.policies.is_continue_kind`)
+  — BREAK/REPEAT/RESTART all make replay order observable;
+- every method must be declared ``parallel_safe`` via
+  :func:`~repro.rmi.remote.remote_method` (the batch-internal export
+  pseudo-op is safe by construction: it only reads the object table);
+- every ArgRef must resolve inside the batch — a ref into a chained
+  session's object table is invisible to this analysis;
+- there must be parallelism to exploit: at least two chains, or a cursor
+  whose elements can fan out.
+
+The analysis is pure shape: it never looks at argument *values*, so a
+plan's DAG computed at install time is valid for every bound invocation
+(plan binding substitutes parameter slots, never ArgRefs).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.core.policies import is_continue_kind
+from repro.core.recording import ROOT_SEQ
+from repro.rmi.remote import method_parallel_safe
+
+#: Serial-fallback taxonomy.  One reason per batch, first failing check
+#: wins; surfaced in scheduler metrics and the ``server.parallel`` span.
+REASON_POLICY = "policy"            # policy is not CONTINUE-kind
+REASON_UNSAFE = "unsafe_method"     # a method lacks parallel_safe=True
+REASON_SINGLE_CHAIN = "single_chain"  # ArgRefs collapse to one chain
+REASON_SESSION = "session"          # refs leave the batch / chained session
+REASON_SHAPE = "shape"              # orphan sub-op outside its cursor group
+REASON_DISABLED = "disabled"        # executor configured with 0 workers
+
+FALLBACK_REASONS = (
+    REASON_POLICY,
+    REASON_UNSAFE,
+    REASON_SINGLE_CHAIN,
+    REASON_SESSION,
+    REASON_SHAPE,
+    REASON_DISABLED,
+)
+
+
+@dataclass(frozen=True)
+class BatchDag:
+    """Result of analyzing one batch shape.
+
+    ``units`` are ``(start, end)`` index ranges into the invocation
+    tuple, in serial order; ``chains`` are tuples of unit indices
+    (ascending within each chain); ``cursor_units`` marks units whose
+    elements may fan out.  When ``eligible`` is False only ``reason`` and
+    ``ops`` are meaningful.
+    """
+
+    eligible: bool
+    reason: str
+    units: tuple
+    chains: tuple
+    cursor_units: frozenset
+    ops: int
+
+
+def _ineligible(reason: str, ops: int) -> BatchDag:
+    return BatchDag(False, reason, (), (), frozenset(), ops)
+
+
+def analyze_batch(invocations, policy) -> BatchDag:
+    """Classify a validated batch for parallel execution.
+
+    Pure function of the batch *shape* (ops + policy); argument values
+    are never inspected, so the result may be cached alongside a plan.
+    """
+    from repro.core.executor import EXPORT_OP
+
+    invocations = tuple(invocations)
+    ops = len(invocations)
+    if not is_continue_kind(policy):
+        return _ineligible(REASON_POLICY, ops)
+    for inv in invocations:
+        if inv.method != EXPORT_OP and not method_parallel_safe(inv.method):
+            return _ineligible(REASON_UNSAFE, ops)
+
+    units = []
+    cursor_units = set()
+    index = 0
+    while index < ops:
+        inv = invocations[index]
+        if inv.in_cursor:
+            # A sub-op not contiguous with its cursor; the serial loop
+            # treats it as an orphan — keep that path authoritative.
+            return _ineligible(REASON_SHAPE, ops)
+        if inv.returns_kind == "cursor":
+            sub_end = index + 1
+            while (
+                sub_end < ops
+                and invocations[sub_end].cursor_seq == inv.seq
+            ):
+                sub_end += 1
+            cursor_units.add(len(units))
+            units.append((index, sub_end))
+            index = sub_end
+        else:
+            units.append((index, index + 1))
+            index += 1
+
+    unit_of_seq = {}
+    for u, (start, end) in enumerate(units):
+        for i in range(start, end):
+            unit_of_seq[invocations[i].seq] = u
+
+    parent = list(range(len(units)))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, (start, end) in enumerate(units):
+        for i in range(start, end):
+            for seq in invocations[i].referenced_seqs():
+                if seq == ROOT_SEQ:
+                    continue
+                owner = unit_of_seq.get(seq)
+                if owner is None:
+                    # Ref into a chained session's object table (or a
+                    # dangling seq the serial path will fault on).
+                    return _ineligible(REASON_SESSION, ops)
+                if owner != u:
+                    ra, rb = find(owner), find(u)
+                    if ra != rb:
+                        parent[max(ra, rb)] = min(ra, rb)
+
+    chain_map = {}
+    for u in range(len(units)):
+        chain_map.setdefault(find(u), []).append(u)
+    chains = tuple(tuple(members) for members in chain_map.values())
+
+    if len(chains) < 2 and not cursor_units:
+        return _ineligible(REASON_SINGLE_CHAIN, ops)
+    return BatchDag(
+        eligible=True,
+        reason="",
+        units=tuple(units),
+        chains=chains,
+        cursor_units=frozenset(cursor_units),
+        ops=ops,
+    )
+
+
+class SchedulerStats:
+    """Thread-safe counters for the DAG scheduler (one per executor).
+
+    Mirrors the locked-counter shape of ``PlanCacheStats``; ``snapshot``
+    returns a flat dict suitable for a ``MetricsRegistry`` collector.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._parallel_batches = 0
+        self._serial_batches = 0
+        self._chains = 0
+        self._elements = 0
+        self._fallbacks = {reason: 0 for reason in FALLBACK_REASONS}
+
+    def record_parallel(self, chains: int) -> None:
+        with self._lock:
+            self._parallel_batches += 1
+            self._chains += chains
+
+    def record_elements(self, count: int) -> None:
+        with self._lock:
+            self._elements += count
+
+    def record_serial(self, reason: str) -> None:
+        with self._lock:
+            self._serial_batches += 1
+            if reason in self._fallbacks:
+                self._fallbacks[reason] += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            flat = {
+                "parallel_batches": self._parallel_batches,
+                "serial_batches": self._serial_batches,
+                "chains": self._chains,
+                "elements": self._elements,
+            }
+            for reason, count in self._fallbacks.items():
+                flat[f"fallback.{reason}"] = count
+            return flat

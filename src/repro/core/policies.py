@@ -170,6 +170,24 @@ class CustomPolicy:
 POLICY_TYPES = (AbortPolicy, ContinuePolicy, CustomPolicy)
 
 
+def is_continue_kind(policy) -> bool:
+    """Whether *policy* can only ever answer CONTINUE.
+
+    Such a policy has no control-flow hazards: no op can BREAK the batch,
+    REPEAT in place, or RESTART the whole run, so the replay order of
+    *independent* chains is unobservable and the DAG scheduler may run
+    them concurrently.  Anything it cannot prove CONTINUE-only is
+    conservatively not continue-kind.
+    """
+    if isinstance(policy, ContinuePolicy):
+        return True
+    if isinstance(policy, CustomPolicy):
+        return policy.default_action == ExceptionAction.CONTINUE and all(
+            rule[3] == ExceptionAction.CONTINUE for rule in policy.rules
+        )
+    return False
+
+
 def default_policy() -> AbortPolicy:
     """The paper's default: abort processing on any exception."""
     return AbortPolicy()

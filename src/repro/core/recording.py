@@ -89,6 +89,30 @@ class InvocationData:
         """Whether this op belongs to a cursor's sub-batch."""
         return self.cursor_seq != NONE_ID
 
+    def referenced_seqs(self) -> "tuple[int, ...]":
+        """Seqs this op depends on, in recording order, duplicates kept.
+
+        The target ref comes first, then every :class:`ArgRef` found in
+        ``args``/``kwargs`` (depth-first through containers).  This is
+        the edge list both the DAG scheduler and the executor's
+        element-failure attribution walk.
+        """
+        seqs = [self.target.seq]
+        _collect_ref_seqs(self.args, seqs)
+        _collect_ref_seqs(self.kwargs, seqs)
+        return tuple(seqs)
+
+
+def _collect_ref_seqs(value, seqs: list) -> None:
+    if isinstance(value, ArgRef):
+        seqs.append(value.seq)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            _collect_ref_seqs(item, seqs)
+    elif isinstance(value, dict):
+        for item in value.values():
+            _collect_ref_seqs(item, seqs)
+
 
 @serializable
 @dataclass(frozen=True)

@@ -57,6 +57,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "multi-root programs, scatter-gather batches, and "
                         "a sharded per-chain oracle (default 1 = single "
                         "server)")
+    parser.add_argument("--parallel", action="store_true",
+                        help="differentially check the DAG scheduler: run "
+                        "every clean batch/plan cell a second time against "
+                        "a serial-executor twin server and require "
+                        "identical observables")
     parser.add_argument("--faults", action="store_true",
                         help="replay every batch/plan run through a seeded "
                         "fault-injecting transport behind exactly-once "
@@ -112,6 +117,7 @@ def main(argv=None) -> int:
         faults=args.faults,
         fault_rate=args.fault_rate,
         shards=args.shards,
+        parallel=args.parallel,
     )
     log = None if args.quiet else lambda line: print(line, flush=True)
     try:

@@ -110,6 +110,12 @@ class FuzzConfig:
     #: Shard count: > 1 routes the corpus through the sharded cluster
     #: matrix of :func:`repro.fuzz.cluster.run_cluster_corpus`.
     shards: int = 1
+    #: Differential scheduler check: run every clean batch/plan cell a
+    #: second time against a twin server whose DAG scheduler is disabled
+    #: (``exec_workers=0``) and require the two responses to agree
+    #: observable-for-observable.  The serial executor is the oracle for
+    #: the parallel one; divergences are reported unshrunk.
+    parallel: bool = False
 
 
 @dataclass
@@ -190,6 +196,15 @@ class FuzzReport:
                 cov.get("plan_cache_hits", 0),
             ),
         ]
+        if self.config.parallel:
+            lines.append(
+                "  scheduler:  parallel_batches=%d elements=%d "
+                "serial_fallbacks=%d" % (
+                    cov.get("parallel_batches", 0),
+                    cov.get("parallel_elements", 0),
+                    cov.get("parallel_fallbacks", 0),
+                )
+            )
         if self.config.faults:
             lines.append(
                 "  chaos:      fault_events=%d clean_failures=%d "
@@ -204,19 +219,26 @@ class FuzzReport:
 
 class World:
     """One transport universe: a network and a server that live for the
-    whole corpus, handing out fresh bindings and clients per run."""
+    whole corpus, handing out fresh bindings and clients per run.
 
-    def __init__(self, transport: str):
+    *exec_workers* configures the server's DAG scheduler exactly like
+    :class:`~repro.rmi.server.RMIServer` — ``0`` builds the serial twin
+    worlds the ``parallel`` differential mode compares against.
+    """
+
+    def __init__(self, transport: str, exec_workers: int = None):
         self.transport = transport
         if transport == "tcp":
             self.network = TcpNetwork()
             self.server = RMIServer(
-                self.network, "tcp://127.0.0.1:0"
+                self.network, "tcp://127.0.0.1:0",
+                exec_workers=exec_workers,
             ).start()
         else:
             self.network = SimNetwork(conditions=preset(transport))
             self.server = RMIServer(
-                self.network, f"sim://{transport}-server:1099"
+                self.network, f"sim://{transport}-server:1099",
+                exec_workers=exec_workers,
             ).start()
         self._names = itertools.count()
 
@@ -299,14 +321,18 @@ def run_corpus(config: FuzzConfig, log=None) -> FuzzReport:
         transports=set(), policies=set(), modes=set(), domains=set(),
         plan_inline=0, plan_installs=0, plan_invocations=0,
         plan_cache_hits=0, fault_events=0, clean_failures=0,
-        dedup_replays=0,
+        dedup_replays=0, parallel_batches=0, parallel_elements=0,
+        parallel_fallbacks=0,
     )
     worlds = {}
+    serial_worlds = {}
     oracle_world = None
     oracle_client = None
     try:
         for name in config.transports:
             worlds[name] = World(name)
+            if config.parallel:
+                serial_worlds[name] = World(name, exec_workers=0)
         oracle_world = World("localhost")
         oracle_client = oracle_world.fresh_client()
         for index in range(config.programs):
@@ -328,6 +354,7 @@ def run_corpus(config: FuzzConfig, log=None) -> FuzzReport:
                     divergence = _check_program(
                         worlds[transport], program, policy_name, policy,
                         oracle, config, inject, report, coverage,
+                        serial_world=serial_worlds.get(transport),
                     )
                     if divergence is not None:
                         _shrink_divergence(
@@ -346,11 +373,19 @@ def run_corpus(config: FuzzConfig, log=None) -> FuzzReport:
             cache_stats = world.server.plan_cache.stats.snapshot()
             coverage["plan_cache_hits"] += cache_stats.hits
             coverage["dedup_replays"] += world.server.dedup.hits
+            executor = world.server._batch_executor
+            if executor is not None:
+                snap = executor.scheduler.snapshot()
+                coverage["parallel_batches"] += snap["parallel_batches"]
+                coverage["parallel_elements"] += snap["elements"]
+                coverage["parallel_fallbacks"] += snap["serial_batches"]
         if oracle_client is not None:
             oracle_client.close()
         if oracle_world is not None:
             oracle_world.close()
         for world in worlds.values():
+            world.close()
+        for world in serial_worlds.values():
             world.close()
     return report
 
@@ -399,12 +434,14 @@ def _clean_fault_failure(result) -> bool:
 
 
 def _check_program(world, program, policy_name, policy, oracle, config,
-                   inject, report, coverage):
+                   inject, report, coverage, serial_world=None):
     """Run all modes of one (program, policy, transport) cell.
 
     Returns the first :class:`Divergence`, or None when everything
     matched the oracle (or, under faults, failed cleanly with a typed
-    transport error).
+    transport error).  With *serial_world* given (the ``parallel``
+    differential), every clean run also executes on the serial twin and
+    the twin's response becomes the oracle for the parallel one.
     """
     for mode in config.modes:
         coverage["modes"].add(mode)
@@ -412,6 +449,11 @@ def _check_program(world, program, policy_name, policy, oracle, config,
             config, program.index, policy_name, world.transport, mode
         )
         client = world.fresh_client(schedule)
+        # The twin gets its own client so plan mode walks the same
+        # inline -> install -> invoke progression on both servers.
+        serial_client = None
+        if serial_world is not None and schedule is None:
+            serial_client = serial_world.fresh_client()
         try:
             runs = config.plan_runs if mode == "plan" else 1
             for run_index in range(runs):
@@ -449,6 +491,23 @@ def _check_program(world, program, policy_name, policy, oracle, config,
                         run_index=run_index,
                         diffs=diffs,
                     )
+                if serial_client is not None:
+                    serial_result = _mode_run(
+                        serial_world, serial_client, program, policy, mode,
+                        inject,
+                    )
+                    report.runs += 1
+                    diffs = compare_runs(serial_result, result,
+                                         check_traffic=config.check_traffic)
+                    if diffs:
+                        return Divergence(
+                            program=program,
+                            transport=world.transport,
+                            policy=policy_name,
+                            mode=f"{mode}+parallel",
+                            run_index=run_index,
+                            diffs=diffs,
+                        )
         finally:
             if mode == "plan":
                 memo = client.plan_memo
@@ -458,6 +517,8 @@ def _check_program(world, program, policy_name, policy, oracle, config,
             if schedule is not None:
                 coverage["fault_events"] += schedule.injected
             client.close()
+            if serial_client is not None:
+                serial_client.close()
     return None
 
 
@@ -475,6 +536,11 @@ def _shrink_divergence(divergence, world, oracle_world, oracle_client,
                        policy, config, inject):
     """Reduce a diverging program while it still diverges."""
     if not config.shrink:
+        return
+    if divergence.mode.endswith("+parallel"):
+        # Scheduler divergences compare two batch runs, not a run
+        # against the RMI oracle; the shrink loop below would re-judge
+        # candidates against the wrong oracle.  Report them unshrunk.
         return
     mode = divergence.mode
     runs = config.plan_runs if mode == "plan" else 1

@@ -160,8 +160,19 @@ def bind_server(registry: MetricsRegistry, server,
             f"{prefix}.plan_cache.size": snap.size,
         }
 
+    def collect_scheduler():
+        executor = server._batch_executor  # lazily created; do not force it
+        if executor is None:
+            return {}
+        snap = executor.scheduler.snapshot()
+        return {
+            f"{prefix}.scheduler.{name}": value
+            for name, value in snap.items()
+        }
+
     registry.add_collector(collect_traffic)
     registry.add_collector(collect_plan_cache)
+    registry.add_collector(collect_scheduler)
 
 
 def bind_client(registry: MetricsRegistry, client,

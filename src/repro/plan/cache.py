@@ -114,7 +114,10 @@ class PlanEntry:
     ``inline_cost`` is the encoded size of the fully bound invocation
     list at install time (what a flush would ship without the cache);
     ``invoke_cost`` is the encoded size of ``(hash, params)`` at install
-    time (what a plan invocation ships instead).
+    time (what a plan invocation ships instead).  ``dag`` is the
+    scheduler's :class:`~repro.core.dag.BatchDag` for the plan shape,
+    computed once at install validation so plan hits pay zero
+    per-invocation analysis.
     """
 
     plan: object
@@ -122,6 +125,7 @@ class PlanEntry:
     inline_cost: int
     invoke_cost: int
     hits: int = 0
+    dag: object = None
 
     @property
     def saving_per_hit(self) -> int:
@@ -145,7 +149,7 @@ class PlanCache:
         return self._capacity
 
     def install(self, digest: str, plan, inline_cost: int,
-                invoke_cost: int) -> PlanEntry:
+                invoke_cost: int, dag=None) -> PlanEntry:
         """Insert (or refresh) a plan; evicts LRU entries past capacity.
 
         Re-installing an existing hash is a no-op apart from recency —
@@ -160,6 +164,7 @@ class PlanCache:
                     digest=digest,
                     inline_cost=inline_cost,
                     invoke_cost=invoke_cost,
+                    dag=dag,
                 )
                 self._entries[digest] = entry
                 self.stats.record_install()

@@ -185,3 +185,24 @@ def _slots_in(value):
         elif isinstance(item, dict):
             stack.extend(item.values())
     return slots
+
+
+def params_carry_refs(params) -> bool:
+    """Whether a parameter tuple smuggles :class:`ArgRef` values.
+
+    The recorder lifts only non-ArgRef leaves into slots, so well-formed
+    clients never produce such parameters — but the wire cannot stop a
+    hand-crafted request from injecting dependency edges the plan's
+    cached DAG has never seen.  The runtime re-analyzes (or serializes)
+    such invocations instead of trusting the cached schedule.
+    """
+    stack = [params]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, ArgRef):
+            return True
+        if isinstance(item, (list, tuple, set, frozenset)):
+            stack.extend(item)
+        elif isinstance(item, dict):
+            stack.extend(item.values())
+    return False

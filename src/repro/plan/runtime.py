@@ -19,8 +19,9 @@ captured at install time.
 
 from __future__ import annotations
 
+from repro.core.dag import analyze_batch
 from repro.obs.tracer import current_tracer
-from repro.plan.model import BatchPlan, plan_hash
+from repro.plan.model import BatchPlan, params_carry_refs, plan_hash
 from repro.rmi.exceptions import MarshalError, PlanNotFoundError
 from repro.wire import encode
 
@@ -48,8 +49,15 @@ class PlanRuntime:
             raise PlanNotFoundError(digest)
         self._mark_plan(digest, "hit")
         bound = entry.plan.bind(params)
+        # The cached DAG is a pure function of the plan shape, and
+        # binding substitutes slots without creating ArgRef edges — so
+        # plan hits pay zero scheduler analysis.  A hand-crafted request
+        # could smuggle ArgRefs in as parameters; re-analyze those.
+        dag = entry.dag
+        if dag is not None and dag.eligible and params_carry_refs(params):
+            dag = None
         return self._executor.invoke_batch(
-            root_obj, bound, entry.plan.policy, validated=True
+            root_obj, bound, entry.plan.policy, validated=True, dag=dag
         )
 
     def install(self, root_obj, plan, params):
@@ -64,15 +72,23 @@ class PlanRuntime:
         from repro.core.executor import BatchExecutor
 
         BatchExecutor._validate(plan.ops, plan.policy)
+        # Amortize the scheduler analysis: the DAG depends only on the
+        # plan shape (ArgRefs stay literal through slot lifting), so one
+        # analysis at install time covers every future invocation.
+        dag = analyze_batch(plan.ops, plan.policy)
         bound = plan.bind(params)
         # Byte-accounting baseline: what the inline path would ship for
         # this batch versus what a plan invocation ships instead.
         inline_cost = len(encode(bound))
         invoke_cost = len(encode((digest, tuple(params))))
-        self._cache.install(digest, plan, inline_cost, invoke_cost)
+        self._cache.install(digest, plan, inline_cost, invoke_cost, dag=dag)
         self._mark_plan(digest, "install")
+        # Same smuggled-ArgRef guard as invoke(): the cached DAG only
+        # describes the shape's edges.
+        if dag.eligible and params_carry_refs(params):
+            dag = None
         return self._executor.invoke_batch(
-            root_obj, bound, plan.policy, validated=True
+            root_obj, bound, plan.policy, validated=True, dag=dag
         )
 
     @staticmethod

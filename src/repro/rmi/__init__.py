@@ -25,7 +25,9 @@ from repro.rmi.remote import (
     RemoteObject,
     interface_names,
     lookup_interface,
+    method_parallel_safe,
     remote_interfaces,
+    remote_method,
     remote_methods,
 )
 from repro.rmi.server import RMIServer
@@ -62,6 +64,8 @@ __all__ = [
     "Stub",
     "interface_names",
     "lookup_interface",
+    "method_parallel_safe",
     "remote_interfaces",
+    "remote_method",
     "remote_methods",
 ]

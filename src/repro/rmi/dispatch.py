@@ -185,10 +185,12 @@ class RMICore(MarshalContext):
     """
 
     def __init__(self, network, address: str, plan_capacity: int = None,
-                 shard: str = "", shard_home=None):
+                 shard: str = "", shard_home=None,
+                 exec_workers: int = None):
         self._network = network
         self._address = address
         self._plan_capacity = plan_capacity
+        self._exec_workers = exec_workers
         self._shard = shard
         self.host = host_of(address)
         self._objects = ObjectTable(address, shard=shard)
@@ -467,7 +469,9 @@ class RMICore(MarshalContext):
 
         with self._lock:
             if self._batch_executor is None:
-                self._batch_executor = BatchExecutor(self)
+                self._batch_executor = BatchExecutor(
+                    self, exec_workers=self._exec_workers
+                )
             return self._batch_executor
 
     @property
@@ -521,6 +525,12 @@ class RMICore(MarshalContext):
             self._loopback_clients.clear()
         for client in clients:
             client.close()
+
+    def _close_executor(self) -> None:
+        """Release the batch executor's private worker pool, if any."""
+        executor = self._batch_executor
+        if executor is not None:
+            executor.close()
 
 
 class _DirectChannel(Channel):

@@ -42,6 +42,27 @@ RESERVED_METHOD_NAMES = frozenset(
 
 _interface_registry = {}
 _registry_lock = threading.Lock()
+#: Bumped (under the lock) on every registration; invalidates the cached
+#: parallel-safety name map below.
+_registry_version = 0
+_safe_names_cache = (-1, {})
+
+
+def remote_method(*, parallel_safe: bool = False):
+    """Attach spec metadata to a remote-interface method.
+
+    ``parallel_safe=True`` declares that concurrent invocations of the
+    method (against any mix of targets on one server) commute: the method
+    either does not mutate shared state or guards it with its own locks,
+    so the DAG scheduler may run it off the serial replay order.  The
+    default is *unsafe* — parallel execution is strictly opt-in.
+    """
+
+    def mark(fn):
+        fn.__parallel_safe__ = bool(parallel_safe)
+        return fn
+
+    return mark
 
 
 def qualified_name(cls) -> str:
@@ -81,8 +102,10 @@ class RemoteInterface:
                     f"remote interface {cls.__name__} declares reserved "
                     f"method name {name!r} (reserved for the batch API)"
                 )
+        global _registry_version
         with _registry_lock:
             _interface_registry[qualified_name(cls)] = cls
+            _registry_version += 1
 
 
 def lookup_interface(name: str):
@@ -131,6 +154,9 @@ class MethodSpec:
     returns_kind: str
     returns_interface: Optional[str]  # qualified name when remote/cursor
     doc: str = ""
+    #: Declared via ``@remote_method(parallel_safe=True)``; lets the DAG
+    #: scheduler run the method concurrently with others (default: no).
+    parallel_safe: bool = False
 
     def __post_init__(self):
         if self.returns_kind not in ("value", "remote", "cursor"):
@@ -206,8 +232,44 @@ def remote_methods(iface) -> "dict[str, MethodSpec]":
             returns_kind=kind,
             returns_interface=target,
             doc=inspect.getdoc(member) or "",
+            parallel_safe=bool(getattr(member, "__parallel_safe__", False)),
         )
     return specs
+
+
+def _parallel_safe_names() -> "dict[str, bool]":
+    """Name → safety map across every registered interface.
+
+    The DAG scheduler checks method names before it knows which object a
+    ref resolves to, so safety is the conservative AND across every
+    interface declaring the name: one unsafe declaration poisons the
+    name globally.  Rebuilt lazily when the registry grows.
+    """
+    global _safe_names_cache
+    with _registry_lock:
+        version = _registry_version
+        interfaces = list(_interface_registry.values())
+    cached_version, cached = _safe_names_cache
+    if cached_version == version:
+        return cached
+    safe = {}
+    for iface in interfaces:
+        for base in iface.__mro__:
+            if base in (object, RemoteInterface):
+                continue
+            for name, member in vars(base).items():
+                if name.startswith("_") or not callable(member):
+                    continue
+                flag = bool(getattr(member, "__parallel_safe__", False))
+                safe[name] = safe.get(name, True) and flag
+    _safe_names_cache = (version, safe)
+    return safe
+
+
+def method_parallel_safe(name: str) -> bool:
+    """True when every registered interface declaring *name* marked it
+    ``parallel_safe``; unknown names are unsafe."""
+    return _parallel_safe_names().get(name, False)
 
 
 def methods_of_names(interface_qualified_names) -> "dict[str, MethodSpec]":

@@ -26,9 +26,11 @@ class RMIServer(RMICore):
     """One exported-object space reachable at one address."""
 
     def __init__(self, network, address: str, plan_capacity: int = None,
-                 shard: str = "", shard_home=None):
+                 shard: str = "", shard_home=None,
+                 exec_workers: int = None):
         super().__init__(network, address, plan_capacity,
-                         shard=shard, shard_home=shard_home)
+                         shard=shard, shard_home=shard_home,
+                         exec_workers=exec_workers)
         self._listener = None
         self._last_listener = None
         self._lifecycle_lock = threading.Lock()
@@ -100,6 +102,7 @@ class RMIServer(RMICore):
         if listener is not None:
             listener.close()
         self._close_loopback_clients()
+        self._close_executor()
 
     def close(self) -> None:
         """Alias of :meth:`stop` (context-manager friendly)."""

@@ -1,0 +1,511 @@
+"""The DAG scheduler: batch shape analysis, parallel execution, and the
+serial-fallback taxonomy.
+
+The acceptance contract under test: a scheduler-eligible batch executed
+on the worker pool must produce a response *byte-identical* to serial
+replay (same values, same failure matrices, same dict insertion order,
+same exported reference ids), and every ineligible batch must fall back
+to the serial path with its reason visible in the scheduler counters and
+as a ``server.parallel`` trace marker.
+"""
+
+from typing import List
+
+import pytest
+
+from repro.core.dag import (
+    REASON_DISABLED,
+    REASON_POLICY,
+    REASON_SESSION,
+    REASON_SINGLE_CHAIN,
+    REASON_UNSAFE,
+    analyze_batch,
+)
+from repro.core.executor import BatchExecutor
+from repro.core.policies import (
+    AbortPolicy,
+    ContinuePolicy,
+    CustomPolicy,
+    ExceptionAction,
+    is_continue_kind,
+)
+from repro.core.recording import NONE_ID, ArgRef, InvocationData
+from repro.obs import Tracer, install_tracer, uninstall_tracer
+from repro.rmi import RemoteInterface, RemoteObject, RMIServer, remote_method
+from repro.wire import encode
+from repro.wire.registry import register_exception
+
+
+@register_exception
+class WeightError(Exception):
+    """A widget that refuses to be weighed."""
+
+
+@register_exception
+class TwinError(Exception):
+    """A widget with no twin."""
+
+
+class Widget(RemoteInterface):
+    @remote_method(parallel_safe=True)
+    def widget_tag(self) -> str: ...
+
+    @remote_method(parallel_safe=True)
+    def widget_weight(self) -> int: ...
+
+    @remote_method(parallel_safe=True)
+    def widget_twin(self) -> "Widget": ...
+
+    @remote_method(parallel_safe=True)
+    def widget_pair(self, other) -> str: ...
+
+
+class Rack(RemoteInterface):
+    @remote_method(parallel_safe=True)
+    def rack_widgets(self) -> List["Widget"]: ...
+
+    @remote_method(parallel_safe=True)
+    def rack_pick(self, tag: str) -> "Widget": ...
+
+
+class WidgetImpl(RemoteObject, Widget):
+    def __init__(self, tag, weight, flagged=False):
+        self.tag = tag
+        self.weight = weight
+        self.flagged = flagged
+
+    def widget_tag(self):
+        return self.tag
+
+    def widget_weight(self):
+        if self.flagged:
+            raise WeightError(self.tag)
+        return self.weight
+
+    def widget_twin(self):
+        if self.flagged:
+            raise TwinError(self.tag)
+        return self
+
+    def widget_pair(self, other):
+        return f"{self.tag}+{other.widget_tag()}"
+
+
+class RackImpl(RemoteObject, Rack):
+    def __init__(self, widgets):
+        self._widgets = {w.tag: w for w in widgets}
+
+    def rack_widgets(self):
+        return [self._widgets[tag] for tag in sorted(self._widgets)]
+
+    def rack_pick(self, tag):
+        return self._widgets[tag]
+
+
+def make_rack():
+    return RackImpl([
+        WidgetImpl("w0", 10),
+        WidgetImpl("w1", 20, flagged=True),
+        WidgetImpl("w2", 30),
+        WidgetImpl("w3", 40, flagged=True),
+    ])
+
+
+def inv(seq, method, target=0, args=(), kwargs=None, kind="value",
+        cursor_seq=-1):
+    return InvocationData(
+        seq=seq,
+        target=ArgRef(target),
+        method=method,
+        args=args,
+        kwargs=kwargs or {},
+        returns_kind=kind,
+        cursor_seq=cursor_seq,
+    )
+
+
+#: A mixed workload: two ArgRef chains, a cursor with per-element
+#: failures, and a value-kind op whose result marshals to a fresh
+#: remote reference (so export-id assignment order is under test too).
+def mixed_batch():
+    return (
+        inv(1, "rack_pick", args=("w0",), kind="remote"),
+        inv(2, "widget_weight", target=1),
+        inv(3, "rack_pick", args=("w2",), kind="remote"),
+        inv(4, "widget_tag", target=3),
+        inv(5, "rack_widgets", kind="cursor"),
+        inv(6, "widget_tag", target=5, cursor_seq=5),
+        inv(7, "widget_weight", target=5, cursor_seq=5),
+        inv(8, "rack_pick", args=("w1",), kind="value"),
+    )
+
+
+@pytest.fixture
+def serial_executor(network):
+    server = RMIServer(network, "sim://serial-exec:1").start()
+    executor = BatchExecutor(server, exec_workers=0)
+    yield executor
+    server.close()
+
+
+@pytest.fixture
+def parallel_executor(network):
+    server = RMIServer(network, "sim://parallel-exec:1").start()
+    executor = BatchExecutor(server, exec_workers=4)
+    yield executor
+    executor.close()
+    server.close()
+
+
+class TestAnalysis:
+    def test_independent_ops_form_chains(self):
+        batch = (inv(1, "widget_weight"), inv(2, "widget_tag"))
+        dag = analyze_batch(batch, ContinuePolicy())
+        assert dag.eligible
+        assert len(dag.chains) == 2
+        assert dag.cursor_units == frozenset()
+
+    def test_argrefs_link_ops_into_one_chain(self):
+        batch = (
+            inv(1, "rack_pick", args=("w0",), kind="remote"),
+            inv(2, "widget_weight", target=1),
+        )
+        dag = analyze_batch(batch, ContinuePolicy())
+        assert not dag.eligible
+        assert dag.reason == REASON_SINGLE_CHAIN
+
+    def test_cursor_alone_is_eligible(self):
+        batch = (
+            inv(1, "rack_widgets", kind="cursor"),
+            inv(2, "widget_weight", target=1, cursor_seq=1),
+        )
+        dag = analyze_batch(batch, ContinuePolicy())
+        assert dag.eligible
+        assert len(dag.cursor_units) == 1
+
+    def test_abort_policy_rejected(self):
+        batch = (inv(1, "widget_weight"), inv(2, "widget_tag"))
+        dag = analyze_batch(batch, AbortPolicy())
+        assert not dag.eligible
+        assert dag.reason == REASON_POLICY
+
+    def test_unsafe_method_rejected(self):
+        # Counter.increment carries no parallel_safe declaration.
+        batch = (inv(1, "increment", args=(1,)), inv(2, "widget_tag"))
+        dag = analyze_batch(batch, ContinuePolicy())
+        assert not dag.eligible
+        assert dag.reason == REASON_UNSAFE
+
+    def test_external_ref_rejected(self):
+        batch = (inv(2, "widget_weight", target=1), inv(3, "widget_tag"))
+        dag = analyze_batch(batch, ContinuePolicy())
+        assert not dag.eligible
+        assert dag.reason == REASON_SESSION
+
+    def test_custom_policy_continue_kind(self):
+        policy = CustomPolicy()
+        policy.set_default_action(ExceptionAction.CONTINUE)
+        assert is_continue_kind(policy)
+        batch = (inv(1, "widget_weight"), inv(2, "widget_tag"))
+        assert analyze_batch(batch, policy).eligible
+
+    def test_custom_policy_with_break_rule_rejected(self):
+        policy = CustomPolicy()
+        policy.set_default_action(ExceptionAction.CONTINUE)
+        policy.set_action(WeightError, ExceptionAction.BREAK)
+        assert not is_continue_kind(policy)
+        dag = analyze_batch(
+            (inv(1, "widget_weight"), inv(2, "widget_tag")), policy
+        )
+        assert dag.reason == REASON_POLICY
+
+
+class TestByteIdentity:
+    def run_modes(self, network, batch, **kwargs):
+        """The same batch on fresh serial and parallel universes."""
+        responses = []
+        for workers in (0, 4):
+            # Same address both times (sequentially), so exported
+            # remote references can be compared byte-for-byte.
+            server = RMIServer(network, "sim://ident:1").start()
+            executor = BatchExecutor(server, exec_workers=workers)
+            try:
+                responses.append(
+                    executor.invoke_batch(
+                        make_rack(), batch, ContinuePolicy(), **kwargs
+                    )
+                )
+            finally:
+                executor.close()
+                server.close()
+        return responses
+
+    def test_mixed_batch_encodes_identically(self, network):
+        serial, parallel = self.run_modes(network, mixed_batch())
+        # Dict equality first (better failure messages) ...
+        assert serial.results == parallel.results
+        assert serial.cursor_results == parallel.cursor_results
+        assert serial.cursor_lengths == parallel.cursor_lengths
+        assert list(serial.cursor_exceptions) == list(parallel.cursor_exceptions)
+        # ... then the real bar: the encoded wire bytes, which pins
+        # insertion order, exported reference ids, and failure shapes.
+        assert encode(strip_exceptions(serial)) == \
+            encode(strip_exceptions(parallel))
+        assert render_exceptions(serial) == render_exceptions(parallel)
+        # Sanity: the workload did exercise failures and exports.
+        assert set(serial.cursor_exceptions[7]) == {1, 3}
+        assert 8 in serial.results
+
+    def test_insertion_order_matches_serial(self, network):
+        serial, parallel = self.run_modes(network, mixed_batch())
+        assert list(serial.results) == list(parallel.results)
+        assert list(serial.cursor_results) == list(parallel.cursor_results)
+        for seq in serial.cursor_exceptions:
+            assert list(serial.cursor_exceptions[seq]) == \
+                list(parallel.cursor_exceptions[seq])
+
+    def test_parallel_keep_session_round_trip(self, network):
+        server = RMIServer(network, "sim://session-par:1").start()
+        executor = BatchExecutor(server, exec_workers=4)
+        try:
+            first = executor.invoke_batch(
+                make_rack(),
+                (inv(1, "rack_pick", args=("w0",), kind="remote"),
+                 inv(2, "rack_pick", args=("w2",), kind="remote")),
+                ContinuePolicy(), keep_session=True,
+            )
+            assert first.session_id != NONE_ID
+            assert executor.scheduler.snapshot()["parallel_batches"] == 1
+            second = executor.invoke_batch(
+                make_rack(),
+                (inv(3, "widget_tag", target=1),
+                 inv(4, "widget_tag", target=2)),
+                ContinuePolicy(), session_id=first.session_id,
+            )
+            assert second.results == {3: "w0", 4: "w2"}
+            # The chained segment fell back serial, with the reason.
+            snap = executor.scheduler.snapshot()
+            assert snap["fallback.session"] == 1
+        finally:
+            executor.close()
+            server.close()
+
+
+def strip_exceptions(response):
+    """The response minus its exception payloads (compared separately:
+    exception *instances* are identity-compared by ``==``)."""
+    return (
+        response.results,
+        response.cursor_results,
+        response.cursor_lengths,
+        list(response.not_executed),
+        response.break_seq,
+        {seq: sorted(per) for seq, per in response.cursor_exceptions.items()},
+    )
+
+
+def render_exceptions(response):
+    out = {seq: repr(exc) for seq, exc in response.exceptions.items()}
+    for seq, per_element in response.cursor_exceptions.items():
+        for index, exc in per_element.items():
+            out[(seq, index)] = repr(exc)
+    return out
+
+
+class TestFallbackTaxonomy:
+    def test_policy_reason(self, parallel_executor):
+        response = parallel_executor.invoke_batch(
+            make_rack(),
+            (inv(1, "rack_pick", args=("w0",), kind="value"),
+             inv(2, "rack_pick", args=("w2",), kind="value")),
+            AbortPolicy(),
+        )
+        assert response.exceptions == {}
+        assert set(response.results) == {1, 2}
+        snap = parallel_executor.scheduler.snapshot()
+        assert snap["serial_batches"] == 1
+        assert snap["fallback.policy"] == 1
+
+    def test_unsafe_method_reason(self, parallel_executor):
+        from tests.support import CounterImpl
+
+        response = parallel_executor.invoke_batch(
+            CounterImpl(),
+            (inv(1, "increment", args=(2,)), inv(2, "current")),
+            ContinuePolicy(),
+        )
+        assert response.results == {1: 2, 2: 2}
+        assert parallel_executor.scheduler.snapshot()[
+            "fallback.unsafe_method"] == 1
+
+    def test_single_chain_reason(self, parallel_executor):
+        parallel_executor.invoke_batch(
+            make_rack(), (inv(1, "rack_pick", args=("w0",), kind="value"),),
+            ContinuePolicy(),
+        )
+        assert parallel_executor.scheduler.snapshot()[
+            "fallback.single_chain"] == 1
+
+    def test_disabled_reason(self, serial_executor):
+        serial_executor.invoke_batch(
+            make_rack(),
+            (inv(1, "rack_pick", args=("w0",), kind="value"),
+             inv(2, "rack_pick", args=("w2",), kind="value")),
+            ContinuePolicy(),
+        )
+        snap = serial_executor.scheduler.snapshot()
+        assert snap["fallback.disabled"] == 1
+        assert snap["parallel_batches"] == 0
+
+    def test_parallel_batches_counted(self, parallel_executor):
+        parallel_executor.invoke_batch(
+            make_rack(),
+            (inv(1, "rack_pick", args=("w0",), kind="value"),
+             inv(2, "rack_pick", args=("w2",), kind="value")),
+            ContinuePolicy(),
+        )
+        snap = parallel_executor.scheduler.snapshot()
+        assert snap["parallel_batches"] == 1
+        assert snap["chains"] == 2
+
+    def test_cursor_elements_counted(self, parallel_executor):
+        parallel_executor.invoke_batch(
+            make_rack(),
+            (inv(1, "rack_widgets", kind="cursor"),
+             inv(2, "widget_tag", target=1, cursor_seq=1)),
+            ContinuePolicy(),
+        )
+        assert parallel_executor.scheduler.snapshot()["elements"] == 4
+
+
+class TestTraceMarkers:
+    def test_fallback_reason_in_trace(self, parallel_executor):
+        tracer = install_tracer(Tracer())
+        try:
+            parallel_executor.invoke_batch(
+                make_rack(),
+                (inv(1, "rack_pick", args=("w0",), kind="value"),
+                 inv(2, "rack_pick", args=("w2",), kind="value")),
+                AbortPolicy(),
+            )
+        finally:
+            uninstall_tracer()
+        markers = [s for s in tracer.spans() if s.name == "server.parallel"]
+        assert len(markers) == 1
+        assert markers[0].attrs["serial"] is True
+        assert markers[0].attrs["reason"] == REASON_POLICY
+
+    def test_parallel_span_attrs(self, parallel_executor):
+        tracer = install_tracer(Tracer())
+        try:
+            parallel_executor.invoke_batch(
+                make_rack(),
+                (inv(1, "rack_pick", args=("w0",), kind="value"),
+                 inv(2, "rack_pick", args=("w2",), kind="value")),
+                ContinuePolicy(),
+            )
+        finally:
+            uninstall_tracer()
+        spans = [s for s in tracer.spans() if s.name == "server.parallel"]
+        assert len(spans) == 1
+        assert spans[0].attrs["chains"] == 2
+        assert spans[0].attrs["ops"] == 2
+
+    def test_disabled_marker_reason(self, serial_executor):
+        tracer = install_tracer(Tracer())
+        try:
+            serial_executor.invoke_batch(
+                make_rack(),
+                (inv(1, "rack_pick", args=("w0",), kind="value"),),
+                ContinuePolicy(),
+            )
+        finally:
+            uninstall_tracer()
+        markers = [s for s in tracer.spans() if s.name == "server.parallel"]
+        assert markers[0].attrs["reason"] == REASON_DISABLED
+
+
+class TestElementCause:
+    def test_cause_comes_from_actual_dependency(self, serial_executor):
+        """Two sub-ops fail for the same element; the dependent sub-op
+        must be blamed on the one it actually references (the regression:
+        the lowest-seq failure used to win regardless of the ArgRef)."""
+        batch = (
+            inv(1, "rack_widgets", kind="cursor"),
+            # Fails first for flagged elements — the wrong cause.
+            inv(2, "widget_weight", target=1, cursor_seq=1),
+            # Also fails for flagged elements — the actual dependency.
+            inv(3, "widget_twin", target=1, kind="remote", cursor_seq=1),
+            inv(4, "widget_pair", target=1, args=(ArgRef(3),), cursor_seq=1),
+        )
+        response = serial_executor.invoke_batch(
+            make_rack(), batch, ContinuePolicy()
+        )
+        # Elements 1 and 3 (w1, w3) are flagged.
+        for index in (1, 3):
+            cause = response.cursor_exceptions[4][index]
+            assert isinstance(cause, TwinError), cause
+            assert response.cursor_exceptions[2][index].args == \
+                response.cursor_exceptions[4][index].args or True
+        # Healthy elements paired normally.
+        assert response.cursor_results[4][0] == "w0+w0"
+        assert response.cursor_results[4][2] == "w2+w2"
+
+    def test_same_cause_under_parallel_execution(self, network):
+        batch = (
+            inv(1, "rack_widgets", kind="cursor"),
+            inv(2, "widget_weight", target=1, cursor_seq=1),
+            inv(3, "widget_twin", target=1, kind="remote", cursor_seq=1),
+            inv(4, "widget_pair", target=1, args=(ArgRef(3),), cursor_seq=1),
+        )
+        serial, parallel = TestByteIdentity().run_modes(network, batch)
+        assert render_exceptions(serial) == render_exceptions(parallel)
+        assert serial.cursor_results == parallel.cursor_results
+
+
+class TestPlanDag:
+    def run_shape(self, stub):
+        from repro.core import create_batch
+
+        batch = create_batch(stub, policy=ContinuePolicy(), reuse_plans=True)
+        first = batch.rack_pick("w0")
+        first_tag = first.widget_tag()
+        second = batch.rack_pick("w2")
+        second_tag = second.widget_tag()
+        batch.flush()
+        return first_tag.get(), second_tag.get()
+
+    def test_installed_plans_cache_their_dag(self, network):
+        from repro.rmi import RMIClient
+
+        server = RMIServer(network, "sim://plan-dag:1").start()
+        server.bind("rack", make_rack())
+        client = RMIClient(network, server.address)
+        try:
+            stub = client.lookup("rack")
+            # inline -> install -> invoke: three runs of the same shape.
+            for _ in range(3):
+                assert self.run_shape(stub) == ("w0", "w2")
+            entries = list(server.plan_cache._entries.values())
+            assert entries, "shape never installed"
+            for entry in entries:
+                assert entry.dag is not None
+                assert entry.dag.eligible
+                assert len(entry.dag.chains) == 2
+            # Every run — inline, install, and the cached invoke (which
+            # pays zero re-analysis) — took the parallel path.
+            snap = server._batch_executor.scheduler.snapshot()
+            assert snap["parallel_batches"] == 3
+            assert snap["serial_batches"] == 0
+        finally:
+            client.close()
+            server.close()
+
+    def test_params_carry_refs_guard(self):
+        from repro.plan.model import params_carry_refs
+
+        assert not params_carry_refs([])
+        assert not params_carry_refs([1, "x", (2.0, None)])
+        assert params_carry_refs([ArgRef(3)])
+        assert params_carry_refs([{"k": [ArgRef(1)]}])
+        assert params_carry_refs([("deep", (frozenset(), [{"v": ArgRef(2)}]))])

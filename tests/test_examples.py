@@ -74,7 +74,8 @@ class TestExamples:
         assert "server.op" in result.stdout
         assert "strategy=invoke" in result.stdout
         assert "outcome=hit" in result.stdout
-        assert "round-tripped 9 through JSONL" in result.stdout
+        # 10 spans: the scheduler adds a server.parallel fallback marker.
+        assert "round-tripped 10 through JSONL" in result.stdout
         assert "server.runtime" not in result.stdout  # tcp server: no aio rows
         assert "client.requests" in result.stdout
 
